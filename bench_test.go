@@ -1,0 +1,340 @@
+package repro
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (see DESIGN.md section 4 for the experiment index).
+// Benchmarks report the headline quantities of each figure via
+// b.ReportMetric, so `go test -bench=. -benchmem` doubles as the
+// reproduction run. The expensive artifacts (exhaustive search, trained
+// tuners) are built once, outside the timed sections.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpuexec"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/grid"
+	"repro/internal/hw"
+	"repro/internal/kernels"
+	"repro/internal/ml"
+	"repro/internal/plan"
+)
+
+var (
+	benchOnce sync.Once
+	benchCtx  *experiments.Context
+)
+
+// benchContext returns the shared quick-configuration context with all
+// searches and tuners pre-built.
+func benchContext(b *testing.B) *experiments.Context {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchCtx = experiments.NewContext(experiments.Quick())
+		for _, sys := range benchCtx.Cfg.Systems {
+			if _, err := benchCtx.Search(sys); err != nil {
+				panic(err)
+			}
+			if _, err := benchCtx.Tuner(sys); err != nil {
+				panic(err)
+			}
+		}
+	})
+	return benchCtx
+}
+
+// ---- Tables ----
+
+func BenchmarkTable3SpaceEnumeration(b *testing.B) {
+	space := core.DefaultSpace()
+	sys := hw.I7_2600K()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := space.Size(sys)
+		if n == 0 {
+			b.Fatal("empty space")
+		}
+		b.ReportMetric(float64(n), "configs")
+	}
+}
+
+func BenchmarkTable4Systems(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := experiments.Table4(hw.Systems())
+		if len(s) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// ---- Illustrative figures ----
+
+func BenchmarkFig1Waveflow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Fig1(64)) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkFig2ThreePhase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3HaloPartition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Evaluation figures ----
+
+func BenchmarkFig5Heatmaps(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sys := range ctx.Cfg.Systems {
+			for _, dsize := range []int{1, 5} {
+				d, err := ctx.Fig5(sys, dsize)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !d.BandMap.Complete() {
+					b.Fatal("incomplete heatmap")
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig6Baselines(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var last []experiments.Fig6Row
+	for i := 0; i < b.N; i++ {
+		rows, err := ctx.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = rows
+	}
+	for _, r := range last {
+		b.ReportMetric(r.Best, "best_speedup_"+r.Sys.Name)
+	}
+}
+
+func BenchmarkFig7AverageCase(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, sys := range ctx.Cfg.Systems {
+			for _, dsize := range []int{1, 5} {
+				if _, err := ctx.Fig7(sys, dsize); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig8Violins(b *testing.B) {
+	ctx := benchContext(b)
+	i7 := hw.I7_2600K()
+	dims := []int{ctx.Cfg.Space.Dims[0], ctx.Cfg.Space.Dims[len(ctx.Cfg.Space.Dims)-1]}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		vs, err := ctx.Fig8(i7, dims, []int{1, 5}, ctx.Cfg.Space.TSizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(vs) == 0 {
+			b.Fatal("no violins")
+		}
+	}
+}
+
+func BenchmarkFig9ModelTree(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := ctx.Fig9(hw.I7_2600K())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s) == 0 {
+			b.Fatal("empty tree")
+		}
+	}
+}
+
+func BenchmarkFig10Autotune(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var rows []experiments.Fig10Row
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = ctx.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Efficiency, "efficiency_"+r.Sys.Name)
+	}
+}
+
+func BenchmarkFig11AutotuneDetail(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := ctx.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(experiments.RenderFig11(rows)) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+func BenchmarkHeadline(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	var h experiments.Headline
+	for i := 0; i < b.N; i++ {
+		var err error
+		h, err = ctx.ComputeHeadline()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(h.MaxSpeedup, "max_speedup")
+	b.ReportMetric(h.AvgSpeedup, "avg_speedup")
+	b.ReportMetric(h.TunerEfficiency, "tuner_efficiency")
+}
+
+// ---- Extensions (the paper's future work) ----
+
+func BenchmarkExtGPUScaling(b *testing.B) {
+	var rows []experiments.ScalingRow
+	for i := 0; i < b.N; i++ {
+		var err error
+		rows, err = experiments.ExtGPUScaling(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.GPUs >= 1 {
+			b.ReportMetric(r.Speedup, fmt.Sprintf("speedup_%dgpu", r.GPUs))
+		}
+	}
+}
+
+func BenchmarkExtOnlineTuning(b *testing.B) {
+	ctx := benchContext(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ctx.ExtOnline(hw.I7_2600K()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Native and substrate micro-benchmarks ----
+
+func BenchmarkNativeSerial(b *testing.B) {
+	k := kernels.NewSynthetic(500, 1)
+	g := grid.New(256, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpuexec.RunSerial(k, g)
+	}
+}
+
+func BenchmarkNativeParallelTiled(b *testing.B) {
+	k := kernels.NewSynthetic(500, 1)
+	g := grid.New(256, 1)
+	ex := cpuexec.New(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ex.Run(k, g, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNativeParallelUntiled(b *testing.B) {
+	k := kernels.NewSynthetic(500, 1)
+	g := grid.New(256, 1)
+	ex := cpuexec.New(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ex.Run(k, g, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateHybrid(b *testing.B) {
+	sys := hw.I7_2600K()
+	inst := plan.Instance{Dim: 1900, TSize: 2000, DSize: 1}
+	par := plan.Params{CPUTile: 8, Band: 1500, GPUTile: 1, Halo: 20}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Estimate(sys, inst, par, engine.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateFunctional(b *testing.B) {
+	sys := hw.I7_2600K()
+	k := kernels.NewSynthetic(5, 1)
+	par := plan.Params{CPUTile: 8, Band: 60, GPUTile: 1, Halo: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := engine.Simulate(sys, 128, k, par); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExhaustiveQuickSearch(b *testing.B) {
+	sys := hw.I3_540()
+	space := core.QuickSpace()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sr, err := core.Exhaustive(sys, space, core.SearchOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(sr.Evaluations()), "evals")
+	}
+}
+
+func BenchmarkM5Fit(b *testing.B) {
+	d := ml.NewDataset("x", "y")
+	for i := 0; i < 500; i++ {
+		x := float64(i % 25)
+		y := float64((i * 7) % 13)
+		target := 2*x - y
+		if x > 12 {
+			target = -x + 3*y
+		}
+		d.Add([]float64{x, y}, target)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ml.FitM5(d, ml.DefaultM5Options())
+	}
+}

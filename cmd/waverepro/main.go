@@ -1,0 +1,136 @@
+// Command waverepro regenerates every table and figure of the paper's
+// evaluation section and prints them in order, optionally writing each
+// artifact to a directory. With -full it uses the paper-scale search
+// space (several minutes); by default it runs the quick configuration.
+//
+// Usage:
+//
+//	waverepro [-full] [-out results/]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/hw"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("waverepro: ")
+	full := flag.Bool("full", false, "use the paper-scale search space")
+	out := flag.String("out", "", "directory to write per-figure artifacts")
+	flag.Parse()
+
+	cfg := experiments.Quick()
+	if *full {
+		cfg = experiments.Full()
+	}
+	ctx := experiments.NewContext(cfg)
+
+	var sink func(name, content string)
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		sink = func(name, content string) {
+			path := filepath.Join(*out, name)
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	} else {
+		sink = func(string, string) {}
+	}
+	emit := func(name, content string) {
+		fmt.Println(content)
+		fmt.Println(strings.Repeat("=", 72))
+		sink(name, content)
+	}
+
+	emit("fig1.txt", experiments.Fig1(8))
+	fig2, err := experiments.Fig2()
+	check(err)
+	emit("fig2.txt", fig2)
+	fig3, err := experiments.Fig3()
+	check(err)
+	emit("fig3.txt", fig3)
+	emit("table3.txt", experiments.Table3(cfg.Space))
+	emit("table4.txt", experiments.Table4(hw.Systems()))
+
+	var fig5All strings.Builder
+	for _, sys := range cfg.Systems {
+		for _, dsize := range []int{1, 5} {
+			d, err := ctx.Fig5(sys, dsize)
+			check(err)
+			fig5All.WriteString(d.Render())
+			fig5All.WriteString("\n")
+		}
+	}
+	emit("fig5.txt", fig5All.String())
+
+	fig6, err := ctx.Fig6()
+	check(err)
+	emit("fig6.txt", experiments.RenderFig6(fig6))
+
+	var fig7All strings.Builder
+	for _, sys := range cfg.Systems {
+		for _, dsize := range []int{1, 5} {
+			rows, err := ctx.Fig7(sys, dsize)
+			check(err)
+			fig7All.WriteString(experiments.RenderFig7(sys, dsize, rows))
+			fig7All.WriteString("\n")
+		}
+	}
+	emit("fig7.txt", fig7All.String())
+
+	i7 := hw.I7_2600K()
+	dims := []int{cfg.Space.Dims[0], cfg.Space.Dims[len(cfg.Space.Dims)-1]}
+	if *full {
+		dims = []int{700, 2700}
+	}
+	vs, err := ctx.Fig8(i7, dims, []int{1, 5}, cfg.Space.TSizes)
+	check(err)
+	emit("fig8.txt", experiments.RenderFig8(i7, vs))
+
+	fig9, err := ctx.Fig9(i7)
+	check(err)
+	emit("fig9.txt", fig9)
+
+	fig10, err := ctx.Fig10()
+	check(err)
+	emit("fig10.txt", experiments.RenderFig10(fig10))
+	emit("fig11.txt", experiments.RenderFig11(fig10))
+
+	seq, err := ctx.SeqCompare()
+	check(err)
+	var sb strings.Builder
+	sb.WriteString("Sequence comparison deployment (Section 4.2):\n")
+	for _, s := range seq {
+		fmt.Fprintf(&sb, "  %-10s all-CPU: %v\n", s.Sys.Name, s.AllCPU)
+	}
+	emit("seqcompare.txt", sb.String())
+
+	scaling, err := experiments.ExtGPUScaling(4)
+	check(err)
+	emit("ext_scaling.txt", experiments.RenderScaling(scaling))
+
+	online, err := ctx.ExtOnline(hw.I7_2600K())
+	check(err)
+	emit("ext_online.txt", experiments.RenderOnline(hw.I7_2600K(), online))
+
+	h, err := ctx.ComputeHeadline()
+	check(err)
+	emit("headline.txt", h.Render())
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

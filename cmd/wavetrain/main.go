@@ -1,0 +1,89 @@
+// Command wavetrain trains the machine-learned autotuner for a modeled
+// system from an exhaustive search of the synthetic application
+// (Section 3.1), reports cross-validated model quality, and prints the
+// learned halo model tree (Figure 9).
+//
+// Usage:
+//
+//	wavetrain [-system i7-2600K] [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/hw"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wavetrain: ")
+	sysName := flag.String("system", "i7-2600K", "system to train for")
+	full := flag.Bool("full", false, "use the full Table 3 space")
+	save := flag.String("save", "", "write the trained tuner to this JSON file")
+	from := flag.String("from", "", "train from a wavesweep CSV instead of searching")
+	flag.Parse()
+
+	sys, ok := hw.ByName(*sysName)
+	if !ok {
+		log.Fatalf("unknown system %q", *sysName)
+	}
+	var tuner *core.Tuner
+	var ctx *experiments.Context
+	if *from != "" {
+		f, err := os.Open(*from)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sr, err := core.ReadCSV(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if sr.Sys.Name != sys.Name {
+			log.Fatalf("CSV was swept on %s, not %s", sr.Sys.Name, sys.Name)
+		}
+		tuner, err = core.Train(sr, core.DefaultTrainOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		cfg := experiments.Quick()
+		if *full {
+			cfg = experiments.Full()
+		}
+		cfg.Systems = []hw.System{sys}
+		ctx = experiments.NewContext(cfg)
+		var err error
+		tuner, err = ctx.Tuner(sys)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("trained tuner for %s (explored %d model configurations)\n",
+		sys.Name, tuner.Report.Configs)
+	fmt.Printf("cross-validated accuracy: parallel=%.2f cpu-tile=%.2f gpu-tile=%.2f band=%.2f halo=%.2f (gate: 0.90)\n\n",
+		tuner.Report.ParallelAcc, tuner.Report.CPUTileAcc, tuner.Report.GPUTileAcc,
+		tuner.Report.BandAcc, tuner.Report.HaloAcc)
+
+	if ctx != nil {
+		fig9, err := ctx.Fig9(sys)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(fig9)
+	} else {
+		fmt.Println(tuner.Halo.Render("halo"))
+	}
+
+	if *save != "" {
+		if err := tuner.Save(*save); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("saved tuner to %s\n", *save)
+	}
+}

@@ -1,0 +1,122 @@
+// Command wavetune deploys the trained autotuner on an application: it
+// predicts tuned parameters for the requested instance, compares the
+// predicted configuration against the simple baselines, and can execute
+// the run functionally on the simulated platform.
+//
+// Usage:
+//
+//	wavetune [-system i7-2600K] [-app nash] [-dim 1900] [-rounds 2] [-run]
+//	wavetune -app seqcompare -dim 2700
+//	wavetune -app synthetic -tsize 4000 -dsize 5 -dim 1100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/experiments"
+	"repro/internal/hw"
+	"repro/internal/kernels"
+	"repro/internal/plan"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wavetune: ")
+	sysName := flag.String("system", "i7-2600K", "target system")
+	app := flag.String("app", "nash", "application: nash, seqcompare, synthetic, knapsack")
+	dim := flag.Int("dim", 1900, "problem dimension")
+	rounds := flag.Int("rounds", 1, "nash: best-response rounds (tsize = 750*rounds)")
+	tsize := flag.Float64("tsize", 1000, "synthetic: task granularity")
+	dsize := flag.Int("dsize", 1, "synthetic: data granularity")
+	full := flag.Bool("full", false, "train on the full Table 3 space")
+	tunerPath := flag.String("tuner", "", "load a pre-trained tuner JSON (skips training)")
+	run := flag.Bool("run", false, "execute the tuned configuration functionally (small dims only)")
+	flag.Parse()
+
+	sys, ok := hw.ByName(*sysName)
+	if !ok {
+		log.Fatalf("unknown system %q", *sysName)
+	}
+	var k kernels.Kernel
+	switch *app {
+	case "nash":
+		k = kernels.NewNash(*rounds)
+	case "seqcompare":
+		k = kernels.NewSeqCompare()
+	case "synthetic":
+		k = kernels.NewSynthetic(int(*tsize), *dsize)
+	case "knapsack":
+		k = kernels.NewKnapsack(*dim)
+	default:
+		log.Fatalf("unknown app %q", *app)
+	}
+	inst := plan.Instance{Dim: *dim, TSize: k.TSize(), DSize: k.DSize()}
+
+	var tuner *core.Tuner
+	if *tunerPath != "" {
+		var err error
+		tuner, err = core.LoadTuner(*tunerPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if tuner.Sys.Name != sys.Name {
+			log.Fatalf("tuner was trained for %s, not %s", tuner.Sys.Name, sys.Name)
+		}
+	} else {
+		cfg := experiments.Quick()
+		if *full {
+			cfg = experiments.Full()
+		}
+		cfg.Systems = []hw.System{sys}
+		ctx := experiments.NewContext(cfg)
+		var err error
+		tuner, err = ctx.Tuner(sys)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	pred := tuner.Predict(inst)
+	fmt.Printf("application: %s (%v) on %s\n", k.Name(), inst, sys.Name)
+	fmt.Printf("prediction: %v\n\n", pred)
+
+	serial := engine.SerialNs(sys, inst)
+	auto, err := tuner.RTimeFor(inst, pred)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpuRes, err := engine.Estimate(sys, inst, engine.CPUOnlyParams(8), engine.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gpuRes, err := engine.Estimate(sys, inst, engine.GPUOnlyParams(inst.Dim), engine.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("modeled runtimes:\n")
+	fmt.Printf("  serial       %10.3fs  (1.0x)\n", serial/1e9)
+	fmt.Printf("  parallel CPU %10.3fs  (%.1fx)\n", cpuRes.RTimeSec(), serial/cpuRes.RTimeNs)
+	fmt.Printf("  GPU only     %10.3fs  (%.1fx)\n", gpuRes.RTimeSec(), serial/gpuRes.RTimeNs)
+	fmt.Printf("  autotuned    %10.3fs  (%.1fx)\n", auto/1e9, serial/auto)
+
+	if *run {
+		if pred.Serial {
+			fmt.Println("\ntuner chose serial execution; nothing to simulate")
+			return
+		}
+		if *dim > 400 {
+			log.Fatalf("-run executes every cell functionally; use -dim <= 400")
+		}
+		res, g, err := engine.Simulate(sys, *dim, k, pred.Par)
+		if err != nil {
+			log.Fatal(err)
+		}
+		want := engine.Reference(*dim, k)
+		fmt.Printf("\nfunctional run: virtual time %.3fs, %d kernels, %d swaps, results correct: %v\n",
+			res.RTimeSec(), res.Kernels, res.Swaps, g.Equal(want))
+	}
+}

@@ -1,0 +1,11 @@
+// Package repro is a reproduction of "Autotuning Wavefront Applications
+// for Multicore Multi-GPU Hybrid Architectures" (Mohanty and Cole,
+// PMAM 2014, DOI 10.1145/2560683.2560689).
+//
+// The public API lives in repro/wavefront; the substrates (grid,
+// kernels, discrete-event simulator, simulated OpenCL runtime, machine
+// models, ML stack, autotuner, experiments) live under repro/internal.
+// bench_test.go in this directory regenerates every table and figure of
+// the paper's evaluation; see DESIGN.md for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured results.
+package repro

@@ -1,0 +1,49 @@
+// Seqalign: the paper's fine-grained biological sequence comparison
+// application (Smith–Waterman local alignment). Very large instances with
+// a tiny kernel make this a pure CPU workload — the tuner's job is to
+// keep it off the GPU and pick the right cpu-tile (Section 4.2: "band
+// prediction 100% accurate, i.e. do everything on the CPU").
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/wavefront"
+)
+
+func main() {
+	// Align two synthetic DNA sequences natively on the host.
+	a := []byte("ACGTGGTCAAGGTACGTTACGATCGATTACGGATCAGGTACCAGT")
+	b := []byte("ACGTGGACAAGGTACGTTCCGATCGATAACGGATCAGGTACCAGT")
+	k := wavefront.NewSeqCompareWith(a, b)
+	dim := len(a)
+	g := wavefront.NewGrid(dim, 0)
+	if _, err := wavefront.RunParallel(k, g, 8, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("aligned %d x %d: local alignment score %d\n\n", dim, dim, g.B(dim-1, dim-1))
+
+	// Tile-size sweep on a large synthetic alignment: for fine-grained
+	// kernels the memory system dominates, so cpu-tile matters.
+	sys, _ := wavefront.SystemByName("i7-3820")
+	inst := wavefront.InstanceOf(2700, wavefront.NewSeqCompare())
+	fmt.Printf("modeled %s, %v:\n", sys.Name, inst)
+	serial := wavefront.SerialSeconds(sys, inst)
+	fmt.Printf("  serial: %8.4fs\n", serial)
+	for _, ct := range []int{1, 2, 4, 8, 10} {
+		res, err := wavefront.Estimate(sys, inst, wavefront.CPUOnly(ct))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  cpu-tile=%-2d : %8.4fs (%.2fx)\n", ct, res.RTimeSec(), serial/res.RTimeSec())
+	}
+
+	// And the GPU is a losing proposition at tsize=0.5.
+	gpu, err := wavefront.Estimate(sys, inst, wavefront.GPUOnly(inst.Dim))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  GPU only    : %8.4fs (%.2fx) <- why the tuner says band=-1\n",
+		gpu.RTimeSec(), serial/gpu.RTimeSec())
+}

@@ -1,0 +1,138 @@
+package repro
+
+// End-to-end integration test of the full workflow the paper describes
+// plus this reproduction's persistence extensions:
+//
+//	exhaustive sweep -> CSV -> reload -> train -> save tuner -> load
+//	tuner -> predict for an unseen app -> simulate functionally ->
+//	verify against the native serial reference.
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpuexec"
+	"repro/internal/engine"
+	"repro/internal/grid"
+	"repro/internal/hw"
+	"repro/internal/kernels"
+	"repro/internal/plan"
+)
+
+func TestFactoryWorkflowEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test skipped in -short")
+	}
+	sys := hw.I7_2600K()
+
+	// 1. Sweep the synthetic application.
+	sr, err := core.Exhaustive(sys, core.QuickSpace(), core.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Persist and reload the sweep.
+	var buf bytes.Buffer
+	if err := sr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := core.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 3. Train "in the factory" and ship the tuner as JSON.
+	tuner, err := core.Train(loaded, core.DefaultTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tuner.json")
+	if err := tuner.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	deployed, err := core.LoadTuner(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4. Deploy on an unseen application: Nash at an off-grid dim.
+	k := kernels.NewNash(4)
+	dim := 333
+	inst := plan.Instance{Dim: dim, TSize: k.TSize(), DSize: k.DSize()}
+	pred := deployed.Predict(inst)
+	if pred.Serial {
+		t.Fatalf("coarse Nash instance predicted serial: %v", pred)
+	}
+	if _, err := plan.Build(inst, pred.Par); err != nil {
+		t.Fatalf("invalid deployed prediction: %v", err)
+	}
+
+	// 5. The tuned configuration must beat the serial baseline.
+	auto, err := deployed.RTimeFor(inst, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := engine.SerialNs(sys, inst)
+	if auto >= serial {
+		t.Errorf("tuned run (%v) no faster than serial (%v)", auto, serial)
+	}
+
+	// 6. Execute the prediction functionally and verify every cell.
+	res, g, err := engine.Simulate(sys, dim, k, pred.Par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := grid.New(dim, k.DSize())
+	cpuexec.RunSerial(k, want)
+	if !g.Equal(want) {
+		t.Error("deployed hybrid run computed wrong results")
+	}
+	if res.RTimeNs <= 0 {
+		t.Error("non-positive virtual runtime")
+	}
+
+	// 7. Runtime refinement must not regress the deployment.
+	online := core.NewOnlineTuner(deployed)
+	_, st, err := online.Refine(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FinalNs > auto*1.0000001 {
+		t.Errorf("online refinement regressed: %v > %v", st.FinalNs, auto)
+	}
+}
+
+func TestAllSystemsProduceConsistentPipelines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test skipped in -short")
+	}
+	// Every modeled system must support the full pipeline and keep the
+	// functional invariant on a hybrid prediction.
+	for _, sys := range hw.Systems() {
+		sr, err := core.Exhaustive(sys, core.QuickSpace(), core.SearchOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", sys.Name, err)
+		}
+		tuner, err := core.Train(sr, core.DefaultTrainOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", sys.Name, err)
+		}
+		k := kernels.NewSynthetic(2000, 1)
+		dim := 200
+		pred := tuner.Predict(plan.Instance{Dim: dim, TSize: k.TSize(), DSize: k.DSize()})
+		if pred.Serial {
+			continue
+		}
+		_, g, err := engine.Simulate(sys, dim, k, pred.Par)
+		if err != nil {
+			t.Fatalf("%s: %v", sys.Name, err)
+		}
+		want := grid.New(dim, k.DSize())
+		cpuexec.RunSerial(k, want)
+		if !g.Equal(want) {
+			t.Errorf("%s: functional mismatch", sys.Name)
+		}
+	}
+}

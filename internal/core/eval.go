@@ -1,0 +1,109 @@
+package core
+
+import (
+	"repro/internal/engine"
+	"repro/internal/plan"
+)
+
+// EvalPoint compares the tuner against the exhaustive optimum on one
+// instance, the measurement behind Figures 10 and 11.
+type EvalPoint struct {
+	Inst     plan.Instance
+	SerialNs float64
+	// BestNs is the best exhaustive runtime ("ber"); AllCensored is set
+	// when the threshold censored every configuration.
+	BestNs      float64
+	BestPar     plan.Params
+	AllCensored bool
+	// AutoNs is the runtime of the tuner's prediction.
+	AutoNs float64
+	Pred   Prediction
+}
+
+// BestSpeedup returns serial/ber.
+func (e EvalPoint) BestSpeedup() float64 {
+	if e.BestNs <= 0 {
+		return 0
+	}
+	return e.SerialNs / e.BestNs
+}
+
+// AutoSpeedup returns serial/auto.
+func (e EvalPoint) AutoSpeedup() float64 {
+	if e.AutoNs <= 0 {
+		return 0
+	}
+	return e.SerialNs / e.AutoNs
+}
+
+// Efficiency returns the fraction of the exhaustive speedup the tuner
+// achieved; values above 1 are the paper's "super-optimal" predictions
+// outside the searched grid.
+func (e EvalPoint) Efficiency() float64 {
+	if e.BestSpeedup() == 0 {
+		return 0
+	}
+	return e.AutoSpeedup() / e.BestSpeedup()
+}
+
+// EvaluateInstance runs the exhaustive search for one instance (using the
+// space's tunable grids) and compares the tuner's prediction against the
+// optimum.
+func EvaluateInstance(t *Tuner, space Space, inst plan.Instance) (EvalPoint, error) {
+	e := EvalPoint{Inst: inst, SerialNs: engine.SerialNs(t.Sys, inst)}
+	bestFound := false
+	for _, par := range space.Configs(inst, t.Sys) {
+		res, err := engine.Estimate(t.Sys, inst, par, engine.Options{ThresholdNs: engine.DefaultThresholdNs})
+		if err != nil {
+			return e, err
+		}
+		if res.Censored {
+			continue
+		}
+		if !bestFound || res.RTimeNs < e.BestNs {
+			e.BestNs = res.RTimeNs
+			e.BestPar = par
+			bestFound = true
+		}
+	}
+	e.AllCensored = !bestFound
+
+	e.Pred = t.Predict(inst)
+	auto, err := t.RTimeFor(inst, e.Pred)
+	if err != nil {
+		return e, err
+	}
+	e.AutoNs = auto
+	return e, nil
+}
+
+// Evaluate runs EvaluateInstance over a list of instances.
+func Evaluate(t *Tuner, space Space, insts []plan.Instance) ([]EvalPoint, error) {
+	out := make([]EvalPoint, 0, len(insts))
+	for _, inst := range insts {
+		e, err := EvaluateInstance(t, space, inst)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// MeanEfficiency averages Efficiency over points with a defined optimum —
+// the paper's "98% of exhaustive performance" headline.
+func MeanEfficiency(points []EvalPoint) float64 {
+	var s float64
+	n := 0
+	for _, e := range points {
+		if e.AllCensored {
+			continue
+		}
+		s += e.Efficiency()
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/plan"
+)
+
+// OnlineTuner implements the paper's future-work item of upgrading the
+// offline auto-tuner to tune at runtime: deployment starts from the
+// offline model's prediction and spends a small budget of measured probe
+// runs hill-climbing through neighbouring configurations. Probes are
+// "measured" on the modeled system (the stand-in for timing a real run).
+type OnlineTuner struct {
+	Base *Tuner
+	// Budget caps the number of probe measurements (default 12).
+	Budget int
+}
+
+// RefineStats reports what the online phase did.
+type RefineStats struct {
+	Probes  int
+	StartNs float64
+	FinalNs float64
+	Moves   int
+}
+
+// Improvement returns the speedup of the refined configuration over the
+// starting one.
+func (s RefineStats) Improvement() float64 {
+	if s.FinalNs <= 0 {
+		return 0
+	}
+	return s.StartNs / s.FinalNs
+}
+
+// NewOnlineTuner wraps an offline tuner.
+func NewOnlineTuner(base *Tuner) *OnlineTuner {
+	return &OnlineTuner{Base: base, Budget: 12}
+}
+
+// Refine predicts offline and then refines at runtime.
+func (o *OnlineTuner) Refine(inst plan.Instance) (Prediction, RefineStats, error) {
+	pred := o.Base.Predict(inst)
+	if pred.Serial {
+		// The gate said serial; runtime refinement still probes the
+		// parallel alternative once in case the gate was wrong.
+		serialNs := engine.SerialNs(o.Base.Sys, inst)
+		alt := engine.CPUOnlyParams(engine.SerialTile)
+		res, err := engine.Estimate(o.Base.Sys, inst, alt, engine.Options{})
+		if err != nil {
+			return pred, RefineStats{}, err
+		}
+		st := RefineStats{Probes: 1, StartNs: serialNs, FinalNs: serialNs}
+		if res.RTimeNs < serialNs {
+			st.FinalNs = res.RTimeNs
+			st.Moves = 1
+			return Prediction{Par: alt}, st, nil
+		}
+		return pred, st, nil
+	}
+	refined, st, err := o.RefineFrom(inst, pred.Par)
+	if err != nil {
+		return pred, st, err
+	}
+	// A runtime tuner can always fall back to the sequential baseline; if
+	// even the refined parallel configuration loses to it, run serial.
+	if serialNs := engine.SerialNs(o.Base.Sys, inst); serialNs < st.FinalNs {
+		st.FinalNs = serialNs
+		return Prediction{Serial: true, Par: engine.CPUOnlyParams(engine.SerialTile)}, st, nil
+	}
+	return refined, st, nil
+}
+
+// RefineFrom hill-climbs from an explicit starting configuration: each
+// round measures the neighbours of the incumbent and moves to the best
+// strict improvement, until the probe budget is exhausted or a local
+// optimum is reached.
+func (o *OnlineTuner) RefineFrom(inst plan.Instance, start plan.Params) (Prediction, RefineStats, error) {
+	budget := o.Budget
+	if budget <= 0 {
+		budget = 12
+	}
+	sys := o.Base.Sys
+	measure := func(p plan.Params) (float64, bool) {
+		if _, err := plan.Build(inst, p); err != nil {
+			return 0, false
+		}
+		if p.GPUCount() > sys.MaxGPUs() {
+			return 0, false
+		}
+		res, err := engine.Estimate(sys, inst, p, engine.Options{})
+		if err != nil {
+			return 0, false
+		}
+		return res.RTimeNs, true
+	}
+
+	cur := start.Normalize()
+	curNs, ok := measure(cur)
+	if !ok {
+		return Prediction{}, RefineStats{}, fmt.Errorf("core: unmeasurable start %v for %v", start, inst)
+	}
+	st := RefineStats{Probes: 1, StartNs: curNs, FinalNs: curNs}
+
+	for st.Probes < budget {
+		improved := false
+		for _, cand := range neighbours(inst, cur) {
+			if st.Probes >= budget {
+				break
+			}
+			ns, ok := measure(cand)
+			if !ok {
+				continue
+			}
+			st.Probes++
+			if ns < curNs {
+				cur, curNs = cand, ns
+				improved = true
+				st.Moves++
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	st.FinalNs = curNs
+	return Prediction{Par: cur}, st, nil
+}
+
+// neighbours generates the local moves of the hill climber: scaling the
+// band, shifting the halo, swapping cpu-tile to adjacent grid values, and
+// toggling the GPU on or off entirely.
+func neighbours(inst plan.Instance, p plan.Params) []plan.Params {
+	var out []plan.Params
+	add := func(q plan.Params) { out = append(out, q.Normalize()) }
+
+	// cpu-tile moves along the Table 3 grid.
+	tiles := []int{1, 2, 4, 8, 10, 16}
+	for i, t := range tiles {
+		if t == p.CPUTile || (p.CPUTile < t && (i == 0 || tiles[i-1] < p.CPUTile)) {
+			for _, n := range []int{i - 1, i + 1} {
+				if n >= 0 && n < len(tiles) && tiles[n] != p.CPUTile && tiles[n] <= inst.Dim {
+					q := p
+					q.CPUTile = tiles[n]
+					add(q)
+				}
+			}
+			break
+		}
+	}
+
+	if p.Band < 0 {
+		// Try switching the GPU on with a mid-sized band.
+		q := p
+		q.Band = (inst.Dim - 1) / 2
+		q.Halo = -1
+		add(q)
+		return out
+	}
+
+	// Band scaling.
+	for _, f := range []float64{0.75, 1.25} {
+		nb := int(float64(p.Band) * f)
+		if nb == p.Band {
+			nb = p.Band + 1
+		}
+		if nb > 2*inst.Dim-1 {
+			nb = 2*inst.Dim - 1
+		}
+		if nb >= 0 {
+			q := p
+			q.Band = nb
+			if q.Halo > plan.MaxHaloFor(inst, nb) {
+				q.Halo = plan.MaxHaloFor(inst, nb)
+			}
+			add(q)
+		}
+	}
+	// GPU off.
+	add(plan.Params{CPUTile: p.CPUTile, Band: -1, GPUTile: 1, Halo: -1})
+
+	// Halo moves (dual GPU only).
+	if p.Halo >= 0 {
+		max := plan.MaxHaloFor(inst, p.Band)
+		for _, dh := range []int{-4, -1, 1, 4} {
+			nh := p.Halo + dh
+			if nh >= -1 && nh <= max {
+				q := p
+				q.Halo = nh
+				add(q)
+			}
+		}
+	} else {
+		// Try the second GPU.
+		if max := plan.MaxHaloFor(inst, p.Band); max >= 0 {
+			q := p
+			q.Halo = max / 2
+			add(q)
+		}
+	}
+	return out
+}

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/hw"
+	"repro/internal/plan"
+)
+
+var tunerCache = map[string]*Tuner{}
+
+func trainedTuner(t *testing.T, sys hw.System) *Tuner {
+	t.Helper()
+	if tu, ok := tunerCache[sys.Name]; ok {
+		return tu
+	}
+	sr, err := Exhaustive(sys, QuickSpace(), SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu, err := Train(sr, DefaultTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tunerCache[sys.Name] = tu
+	return tu
+}
+
+func TestOnlineNeverWorseThanOffline(t *testing.T) {
+	tu := trainedTuner(t, hw.I7_2600K())
+	online := NewOnlineTuner(tu)
+	for _, inst := range []plan.Instance{
+		{Dim: 900, TSize: 3000, DSize: 1},
+		{Dim: 2100, TSize: 500, DSize: 5},
+		{Dim: 600, TSize: 40, DSize: 3},
+	} {
+		offline := tu.Predict(inst)
+		offNs, err := tu.RTimeFor(inst, offline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, st, err := online.Refine(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.FinalNs > offNs*1.0000001 {
+			t.Errorf("%v: online %v worse than offline %v", inst, st.FinalNs, offNs)
+		}
+	}
+}
+
+func TestOnlineRespectsBudget(t *testing.T) {
+	tu := trainedTuner(t, hw.I7_2600K())
+	online := NewOnlineTuner(tu)
+	online.Budget = 5
+	_, st, err := online.Refine(plan.Instance{Dim: 1500, TSize: 4000, DSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Probes > 5 {
+		t.Errorf("probes = %d, budget 5", st.Probes)
+	}
+}
+
+func TestOnlineRecoversFromBadStart(t *testing.T) {
+	// Start deliberately badly: a coarse large instance forced onto the
+	// CPU. The climber must switch the GPU on and improve substantially.
+	tu := trainedTuner(t, hw.I7_2600K())
+	online := NewOnlineTuner(tu)
+	online.Budget = 30
+	inst := plan.Instance{Dim: 2700, TSize: 12000, DSize: 1}
+	bad := plan.Params{CPUTile: 1, Band: -1, GPUTile: 1, Halo: -1}
+	pred, st, err := online.RefineFrom(inst, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Par.Band < 0 {
+		t.Error("climber failed to switch the GPU on")
+	}
+	if st.Improvement() < 2 {
+		t.Errorf("improvement %.2fx too small from a terrible start", st.Improvement())
+	}
+	if st.Moves == 0 {
+		t.Error("no moves recorded")
+	}
+}
+
+func TestOnlineLocalOptimumStops(t *testing.T) {
+	// From the exhaustive optimum, refinement must stop without moving
+	// (neighbours cannot strictly improve... unless off-grid values do,
+	// which is acceptable — then FinalNs must still be <= the optimum).
+	sys := hw.I7_2600K()
+	sr, err := Exhaustive(sys, QuickSpace(), SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tu := trainedTuner(t, sys)
+	inst := plan.Instance{Dim: 1900, TSize: 4000, DSize: 1}
+	ir, ok := sr.For(inst)
+	if !ok {
+		t.Fatal("instance not searched")
+	}
+	best, ok := ir.Best()
+	if !ok {
+		t.Fatal("no optimum")
+	}
+	online := NewOnlineTuner(tu)
+	_, st, err := online.RefineFrom(inst, best.Par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FinalNs > best.RTimeNs {
+		t.Errorf("refinement regressed below the exhaustive optimum: %v > %v",
+			st.FinalNs, best.RTimeNs)
+	}
+}
+
+func TestOnlineSerialGate(t *testing.T) {
+	// When the gate says serial, the online tuner probes the parallel
+	// alternative and keeps whichever is faster.
+	tu := trainedTuner(t, hw.I3_540())
+	online := NewOnlineTuner(tu)
+	inst := plan.Instance{Dim: 20, TSize: 1, DSize: 0}
+	pred, st, err := online.Refine(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Probes < 1 {
+		t.Error("serial gate must still probe once")
+	}
+	auto, err := tu.RTimeFor(inst, pred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auto > engine.SerialNs(tu.Sys, inst)*1.0000001 && !pred.Serial {
+		t.Error("online result worse than serial")
+	}
+}
+
+func TestNeighboursValid(t *testing.T) {
+	inst := plan.Instance{Dim: 800, TSize: 100, DSize: 1}
+	for _, p := range []plan.Params{
+		{CPUTile: 8, Band: -1, GPUTile: 1, Halo: -1},
+		{CPUTile: 4, Band: 300, GPUTile: 1, Halo: -1},
+		{CPUTile: 1, Band: 500, GPUTile: 1, Halo: 20},
+	} {
+		for _, n := range neighbours(inst, p) {
+			if _, err := plan.Build(inst, n); err != nil {
+				t.Errorf("invalid neighbour %v of %v: %v", n, p, err)
+			}
+		}
+	}
+}

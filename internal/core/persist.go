@@ -1,0 +1,86 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/hw"
+	"repro/internal/ml"
+)
+
+// tunerDTO is the on-disk form of a trained tuner. The system is stored
+// by name and re-resolved on load, so model files stay small and the
+// hardware model always comes from the library version in use.
+type tunerDTO struct {
+	System   string      `json:"system"`
+	Parallel *ml.SVM     `json:"parallel"`
+	CPUTile  *ml.M5Tree  `json:"cpu_tile"`
+	GPUTile  *ml.REPTree `json:"gpu_tile"`
+	Band     *ml.M5Tree  `json:"band"`
+	Halo     *ml.M5Tree  `json:"halo"`
+	Report   TrainReport `json:"report"`
+	Version  int         `json:"version"`
+}
+
+const tunerFormatVersion = 1
+
+// MarshalJSON implements json.Marshaler.
+func (t *Tuner) MarshalJSON() ([]byte, error) {
+	return json.Marshal(tunerDTO{
+		System: t.Sys.Name, Parallel: t.Parallel, CPUTile: t.CPUTile,
+		GPUTile: t.GPUTile, Band: t.Band, Halo: t.Halo, Report: t.Report,
+		Version: tunerFormatVersion,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *Tuner) UnmarshalJSON(data []byte) error {
+	var d tunerDTO
+	if err := json.Unmarshal(data, &d); err != nil {
+		return fmt.Errorf("core: decoding tuner: %w", err)
+	}
+	if d.Version != tunerFormatVersion {
+		return fmt.Errorf("core: tuner format version %d, want %d", d.Version, tunerFormatVersion)
+	}
+	sys, ok := hw.ByName(d.System)
+	if !ok {
+		return fmt.Errorf("core: tuner trained for unknown system %q", d.System)
+	}
+	if d.Parallel == nil || d.CPUTile == nil || d.GPUTile == nil || d.Band == nil || d.Halo == nil {
+		return fmt.Errorf("core: tuner file missing models")
+	}
+	t.Sys = sys
+	t.Parallel = d.Parallel
+	t.CPUTile = d.CPUTile
+	t.GPUTile = d.GPUTile
+	t.Band = d.Band
+	t.Halo = d.Halo
+	t.Report = d.Report
+	return nil
+}
+
+// Save writes the tuner to path as JSON.
+func (t *Tuner) Save(path string) error {
+	data, err := json.MarshalIndent(t, "", " ")
+	if err != nil {
+		return fmt.Errorf("core: encoding tuner: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("core: writing tuner: %w", err)
+	}
+	return nil
+}
+
+// LoadTuner reads a tuner saved by Save.
+func LoadTuner(path string) (*Tuner, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading tuner: %w", err)
+	}
+	t := &Tuner{}
+	if err := json.Unmarshal(data, t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

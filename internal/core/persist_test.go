@@ -1,0 +1,76 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/plan"
+)
+
+func TestTunerSaveLoadRoundTrip(t *testing.T) {
+	sys := hw.I7_2600K()
+	sr, err := Exhaustive(sys, tinySpace(), SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := Train(sr, DefaultTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "tuner.json")
+	if err := orig.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadTuner(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Sys.Name != sys.Name {
+		t.Errorf("system = %q, want %q", back.Sys.Name, sys.Name)
+	}
+	if back.Report != orig.Report {
+		t.Error("training report changed across round trip")
+	}
+	// Predictions must be identical for a spread of instances.
+	for _, inst := range []plan.Instance{
+		{Dim: 500, TSize: 10, DSize: 1},
+		{Dim: 900, TSize: 777, DSize: 3},
+		{Dim: 2500, TSize: 11000, DSize: 5},
+		{Dim: 1500, TSize: 0.5, DSize: 0},
+	} {
+		a, b := orig.Predict(inst), back.Predict(inst)
+		if a != b {
+			t.Errorf("%v: prediction changed: %v vs %v", inst, a, b)
+		}
+	}
+}
+
+func TestLoadTunerErrors(t *testing.T) {
+	if _, err := LoadTuner(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file must error")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	writeFile(t, bad, `{"system":"nonexistent","version":1}`)
+	if _, err := LoadTuner(bad); err == nil {
+		t.Error("unknown system must error")
+	}
+	verMismatch := filepath.Join(t.TempDir(), "ver.json")
+	writeFile(t, verMismatch, `{"system":"i3-540","version":99}`)
+	if _, err := LoadTuner(verMismatch); err == nil {
+		t.Error("version mismatch must error")
+	}
+	missingModels := filepath.Join(t.TempDir(), "empty.json")
+	writeFile(t, missingModels, `{"system":"i3-540","version":1}`)
+	if _, err := LoadTuner(missingModels); err == nil {
+		t.Error("missing models must error")
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

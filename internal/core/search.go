@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/hw"
+	"repro/internal/plan"
+)
+
+// Point is one evaluated configuration.
+type Point struct {
+	Inst     plan.Instance
+	Par      plan.Params
+	RTimeNs  float64
+	Censored bool
+}
+
+// InstanceResult groups the evaluations of one instance.
+type InstanceResult struct {
+	Inst     plan.Instance
+	SerialNs float64
+	Points   []Point
+}
+
+// Best returns the fastest uncensored point. ok is false when every
+// configuration was censored (which the 90 s threshold makes possible for
+// the largest instances).
+func (ir *InstanceResult) Best() (Point, bool) {
+	var best Point
+	found := false
+	for _, p := range ir.Points {
+		if p.Censored {
+			continue
+		}
+		if !found || p.RTimeNs < best.RTimeNs {
+			best = p
+			found = true
+		}
+	}
+	return best, found
+}
+
+// TopK returns the k fastest uncensored points, best first.
+func (ir *InstanceResult) TopK(k int) []Point {
+	var ok []Point
+	for _, p := range ir.Points {
+		if !p.Censored {
+			ok = append(ok, p)
+		}
+	}
+	sort.Slice(ok, func(i, j int) bool { return ok[i].RTimeNs < ok[j].RTimeNs })
+	if len(ok) > k {
+		ok = ok[:k]
+	}
+	return ok
+}
+
+// Uncensored returns the uncensored runtimes (the population behind the
+// paper's violin plots and average-case comparisons).
+func (ir *InstanceResult) Uncensored() []float64 {
+	var xs []float64
+	for _, p := range ir.Points {
+		if !p.Censored {
+			xs = append(xs, p.RTimeNs)
+		}
+	}
+	return xs
+}
+
+// SearchResult is a full exhaustive exploration of a space on one system.
+type SearchResult struct {
+	Sys       hw.System
+	Space     Space
+	Instances []InstanceResult
+}
+
+// SearchOptions configure the exhaustive search.
+type SearchOptions struct {
+	// ThresholdNs is the runtime threshold (default: the paper's 90 s).
+	ThresholdNs float64
+	// Workers bounds host parallelism (default GOMAXPROCS).
+	Workers int
+}
+
+// Exhaustive evaluates every configuration of the space for every
+// instance on sys through the analytic estimator, in parallel across host
+// cores, with deterministic output order.
+func Exhaustive(sys hw.System, space Space, opts SearchOptions) (*SearchResult, error) {
+	if opts.ThresholdNs == 0 {
+		opts.ThresholdNs = engine.DefaultThresholdNs
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	insts := space.Instances()
+	out := &SearchResult{Sys: sys, Space: space, Instances: make([]InstanceResult, len(insts))}
+
+	var wg sync.WaitGroup
+	var firstErr error
+	var mu sync.Mutex
+	sem := make(chan struct{}, workers)
+	for i, inst := range insts {
+		i, inst := i, inst
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ir := InstanceResult{Inst: inst, SerialNs: engine.SerialNs(sys, inst)}
+			for _, par := range space.Configs(inst, sys) {
+				res, err := engine.Estimate(sys, inst, par, engine.Options{ThresholdNs: opts.ThresholdNs})
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("core: estimating %v %v: %w", inst, par, err)
+					}
+					mu.Unlock()
+					return
+				}
+				ir.Points = append(ir.Points, Point{
+					Inst: inst, Par: par, RTimeNs: res.RTimeNs, Censored: res.Censored,
+				})
+			}
+			out.Instances[i] = ir
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// For returns the result for an exact instance, or false.
+func (sr *SearchResult) For(inst plan.Instance) (*InstanceResult, bool) {
+	for i := range sr.Instances {
+		if sr.Instances[i].Inst == inst {
+			return &sr.Instances[i], true
+		}
+	}
+	return nil, false
+}
+
+// Evaluations returns the total number of evaluated points.
+func (sr *SearchResult) Evaluations() int {
+	n := 0
+	for i := range sr.Instances {
+		n += len(sr.Instances[i].Points)
+	}
+	return n
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/hw"
+	"repro/internal/plan"
+)
+
+// Search-result persistence: an exhaustive sweep is the expensive artifact
+// of the workflow ("trained in the factory"), so it can be written as CSV
+// by wavesweep and reloaded later for training without re-running the
+// search.
+
+const searchCSVHeader = "system,dim,tsize,dsize,cpu_tile,band,gpu_tile,halo,rtime_ns,censored"
+
+// WriteCSV streams every evaluated point of the search result.
+func (sr *SearchResult) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, searchCSVHeader)
+	for i := range sr.Instances {
+		ir := &sr.Instances[i]
+		for _, p := range ir.Points {
+			fmt.Fprintf(bw, "%s,%d,%s,%d,%d,%d,%d,%d,%s,%t\n",
+				sr.Sys.Name, p.Inst.Dim,
+				strconv.FormatFloat(p.Inst.TSize, 'g', -1, 64), p.Inst.DSize,
+				p.Par.CPUTile, p.Par.Band, p.Par.GPUTile, p.Par.Halo,
+				strconv.FormatFloat(p.RTimeNs, 'g', -1, 64), p.Censored)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV reconstructs a search result written by WriteCSV. The space is
+// rebuilt from the observed instance grid (band/halo fractions are not
+// recoverable and are left empty; training does not need them).
+func ReadCSV(r io.Reader) (*SearchResult, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("core: empty search CSV")
+	}
+	if got := strings.TrimSpace(sc.Text()); got != searchCSVHeader {
+		return nil, fmt.Errorf("core: unexpected CSV header %q", got)
+	}
+	var sr *SearchResult
+	byInst := map[plan.Instance]*InstanceResult{}
+	var order []plan.Instance
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		f := strings.Split(text, ",")
+		if len(f) != 10 {
+			return nil, fmt.Errorf("core: line %d: %d fields, want 10", line, len(f))
+		}
+		if sr == nil {
+			sys, ok := hw.ByName(f[0])
+			if !ok {
+				return nil, fmt.Errorf("core: line %d: unknown system %q", line, f[0])
+			}
+			sr = &SearchResult{Sys: sys}
+		} else if sr.Sys.Name != f[0] {
+			return nil, fmt.Errorf("core: line %d: mixed systems %q and %q", line, sr.Sys.Name, f[0])
+		}
+		ints := make([]int, 0, 6)
+		for _, idx := range []int{1, 3, 4, 5, 6, 7} {
+			v, err := strconv.Atoi(f[idx])
+			if err != nil {
+				return nil, fmt.Errorf("core: line %d field %d: %v", line, idx, err)
+			}
+			ints = append(ints, v)
+		}
+		tsize, err := strconv.ParseFloat(f[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: line %d: %v", line, err)
+		}
+		rtime, err := strconv.ParseFloat(f[8], 64)
+		if err != nil {
+			return nil, fmt.Errorf("core: line %d: %v", line, err)
+		}
+		censored, err := strconv.ParseBool(f[9])
+		if err != nil {
+			return nil, fmt.Errorf("core: line %d: %v", line, err)
+		}
+		inst := plan.Instance{Dim: ints[0], TSize: tsize, DSize: ints[1]}
+		par := plan.Params{CPUTile: ints[2], Band: ints[3], GPUTile: ints[4], Halo: ints[5]}
+		ir, ok := byInst[inst]
+		if !ok {
+			ir = &InstanceResult{Inst: inst, SerialNs: engine.SerialNs(sr.Sys, inst)}
+			byInst[inst] = ir
+			order = append(order, inst)
+		}
+		ir.Points = append(ir.Points, Point{Inst: inst, Par: par, RTimeNs: rtime, Censored: censored})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if sr == nil {
+		return nil, fmt.Errorf("core: search CSV has no data rows")
+	}
+	for _, inst := range order {
+		sr.Instances = append(sr.Instances, *byInst[inst])
+	}
+	sr.Space = spaceFromInstances(order)
+	return sr, nil
+}
+
+// spaceFromInstances rebuilds the instance grid (dims, tsizes, dsizes) of
+// a loaded search so training's regular sampling works.
+func spaceFromInstances(insts []plan.Instance) Space {
+	dimSet := map[int]bool{}
+	tsSet := map[float64]bool{}
+	dsSet := map[int]bool{}
+	for _, in := range insts {
+		dimSet[in.Dim] = true
+		tsSet[in.TSize] = true
+		dsSet[in.DSize] = true
+	}
+	var s Space
+	for d := range dimSet {
+		s.Dims = append(s.Dims, d)
+	}
+	for t := range tsSet {
+		s.TSizes = append(s.TSizes, t)
+	}
+	for d := range dsSet {
+		s.DSizes = append(s.DSizes, d)
+	}
+	sort.Ints(s.Dims)
+	sort.Float64s(s.TSizes)
+	sort.Ints(s.DSizes)
+	return s
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+)
+
+func TestSearchCSVRoundTrip(t *testing.T) {
+	sys := hw.I7_2600K()
+	orig, err := Exhaustive(sys, tinySpace(), SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Sys.Name != sys.Name {
+		t.Errorf("system = %q", back.Sys.Name)
+	}
+	if back.Evaluations() != orig.Evaluations() {
+		t.Fatalf("evaluations %d != %d", back.Evaluations(), orig.Evaluations())
+	}
+	if len(back.Instances) != len(orig.Instances) {
+		t.Fatalf("instances %d != %d", len(back.Instances), len(orig.Instances))
+	}
+	for i := range orig.Instances {
+		a, b := &orig.Instances[i], &back.Instances[i]
+		if a.Inst != b.Inst {
+			t.Fatalf("instance order changed: %v vs %v", a.Inst, b.Inst)
+		}
+		for j := range a.Points {
+			if a.Points[j] != b.Points[j] {
+				t.Fatalf("point %d/%d changed across round trip", i, j)
+			}
+		}
+	}
+	// Space grid recovered for training.
+	if len(back.Space.Dims) != len(tinySpace().Dims) {
+		t.Errorf("space dims not recovered: %v", back.Space.Dims)
+	}
+}
+
+func TestTrainFromLoadedCSV(t *testing.T) {
+	// The factory workflow: sweep -> CSV -> load -> train.
+	sys := hw.I3_540()
+	orig, err := Exhaustive(sys, tinySpace(), SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Train(orig, DefaultTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(back, DefaultTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical data must train identical predictions.
+	for _, inst := range tinySpace().Instances()[:6] {
+		if a.Predict(inst) != b.Predict(inst) {
+			t.Errorf("%v: prediction differs after CSV round trip", inst)
+		}
+	}
+}
+
+func TestReadCSVRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"wrong,header\n",
+		"system,dim,tsize,dsize,cpu_tile,band,gpu_tile,halo,rtime_ns,censored\n", // no rows
+		"system,dim,tsize,dsize,cpu_tile,band,gpu_tile,halo,rtime_ns,censored\nnope,1,2,3\n",
+		"system,dim,tsize,dsize,cpu_tile,band,gpu_tile,halo,rtime_ns,censored\nunknown-sys,500,10,1,4,-1,1,-1,100,false\n",
+	} {
+		if _, err := ReadCSV(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted malformed CSV: %q", bad)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ml"
+)
+
+// TrainOptions configure training-set construction and model fitting.
+type TrainOptions struct {
+	// Stride regularly samples every Stride-th dim and tsize value for
+	// the training subset (default 2); held-out instances serve
+	// cross-validation, as in Section 3.1.2.
+	Stride int
+	// TopK takes the best K uncensored points per sampled instance
+	// (default 5, the paper's "best five performance points").
+	TopK int
+	// QualityWindow drops top-K points slower than the optimum by more
+	// than this factor (default 1.5), so sparse configuration classes
+	// cannot inject bad decisions into the training set.
+	QualityWindow float64
+	// SpeedupGate labels an instance "exploit parallelism" for the SVM
+	// when the best point beats serial by at least this factor
+	// (default 1.05).
+	SpeedupGate float64
+	// CVFolds is the cross-validation fold count (default 5).
+	CVFolds int
+	// AccuracyTarget is the paper's model acceptance gate (default 0.9).
+	AccuracyTarget float64
+	// Seed drives every stochastic component (default 1).
+	Seed int64
+}
+
+// DefaultTrainOptions returns the standard configuration.
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{Stride: 2, TopK: 5, QualityWindow: 1.5, SpeedupGate: 1.05,
+		CVFolds: 5, AccuracyTarget: 0.9, Seed: 1}
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	d := DefaultTrainOptions()
+	if o.Stride <= 0 {
+		o.Stride = d.Stride
+	}
+	if o.TopK <= 0 {
+		o.TopK = d.TopK
+	}
+	if o.QualityWindow <= 1 {
+		o.QualityWindow = d.QualityWindow
+	}
+	if o.SpeedupGate <= 0 {
+		o.SpeedupGate = d.SpeedupGate
+	}
+	if o.CVFolds <= 1 {
+		o.CVFolds = d.CVFolds
+	}
+	if o.AccuracyTarget <= 0 {
+		o.AccuracyTarget = d.AccuracyTarget
+	}
+	if o.Seed == 0 {
+		o.Seed = d.Seed
+	}
+	return o
+}
+
+// Training holds the per-target datasets distilled from an exhaustive
+// search, following the paper's feature choices: cpu-tile from input
+// parameters only; band additionally from gpu-tile; halo additionally from
+// cpu-tile and band (Figure 9); gpu-tile as a binary target; and the
+// SVM's parallelism label per instance.
+type Training struct {
+	Parallel *ml.Dataset // features (dim, tsize, dsize), label in {-1, +1}
+	CPUTile  *ml.Dataset // (dim, tsize, dsize) -> cpu-tile
+	GPUTile  *ml.Dataset // (dim, tsize, dsize) -> 0 (GPU unused) or tile >= 1
+	Band     *ml.Dataset // (dim, tsize, dsize, gputile) -> band
+	Halo     *ml.Dataset // (dim, tsize, dsize, cputile, band) -> halo
+	// SampledInstances records which instances contributed, for holdout
+	// bookkeeping.
+	SampledInstances map[int]bool
+}
+
+// BuildTraining distills training sets from a search result by regular
+// sampling of instances and selection of the top-K points of each.
+func BuildTraining(sr *SearchResult, opts TrainOptions) (*Training, error) {
+	opts = opts.withDefaults()
+	tr := &Training{
+		Parallel:         ml.NewDataset("dim", "tsize", "dsize"),
+		CPUTile:          ml.NewDataset("dim", "tsize", "dsize"),
+		GPUTile:          ml.NewDataset("dim", "tsize", "dsize"),
+		Band:             ml.NewDataset("dim", "tsize", "dsize", "gputile"),
+		Halo:             ml.NewDataset("dim", "tsize", "dsize", "cputile", "band"),
+		SampledInstances: map[int]bool{},
+	}
+	dimPos := indexOfInts(sr.Space.Dims)
+	tsPos := indexOfFloats(sr.Space.TSizes)
+
+	for i := range sr.Instances {
+		ir := &sr.Instances[i]
+		di, ok1 := dimPos[ir.Inst.Dim]
+		ti, ok2 := tsPos[ir.Inst.TSize]
+		if !ok1 || !ok2 {
+			return nil, fmt.Errorf("core: instance %v not on the space grid", ir.Inst)
+		}
+		if di%opts.Stride != 0 || ti%opts.Stride != 0 {
+			continue
+		}
+		tr.SampledInstances[i] = true
+		x := []float64{float64(ir.Inst.Dim), ir.Inst.TSize, float64(ir.Inst.DSize)}
+
+		best, found := ir.Best()
+		label := -1.0
+		if found && ir.SerialNs/best.RTimeNs >= opts.SpeedupGate {
+			label = 1
+		}
+		tr.Parallel.Add(x, label)
+		if !found || label < 0 {
+			// No useful parallel points: nothing to teach the parameter
+			// models for this instance.
+			continue
+		}
+		for _, p := range ir.TopK(opts.TopK) {
+			// Only genuinely good points teach the models: a "top-5" point
+			// far behind the optimum (possible when few configurations of
+			// its kind exist) would inject bad decisions.
+			if p.RTimeNs > best.RTimeNs*opts.QualityWindow {
+				continue
+			}
+			tr.CPUTile.Add(x, float64(p.Par.CPUTile))
+			// The paper's gpu-tile target is overloaded: 0 means the GPU
+			// is not employed at all; >= 1 is the work-group tile of a
+			// GPU-using configuration (Section 4.1.5).
+			gt := 0.0
+			if p.Par.Band >= 0 {
+				gt = float64(p.Par.GPUTile)
+			}
+			tr.GPUTile.Add(x, gt)
+			tr.Band.Add(append(append([]float64{}, x...), gt), float64(p.Par.Band))
+			tr.Halo.Add(append(append([]float64{}, x...),
+				float64(p.Par.CPUTile), float64(p.Par.Band)), float64(p.Par.Halo))
+		}
+	}
+	if tr.Parallel.Len() == 0 {
+		return nil, fmt.Errorf("core: sampling produced no training instances")
+	}
+	return tr, nil
+}
+
+func indexOfInts(xs []int) map[int]int {
+	m := make(map[int]int, len(xs))
+	for i, x := range xs {
+		m[x] = i
+	}
+	return m
+}
+
+func indexOfFloats(xs []float64) map[float64]int {
+	m := make(map[float64]int, len(xs))
+	for i, x := range xs {
+		m[x] = i
+	}
+	return m
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/engine"
+	"repro/internal/hw"
+	"repro/internal/ml"
+	"repro/internal/plan"
+)
+
+// Tuner is a trained autotuner for one system ("trained in the factory",
+// Section 3.1.2): a binary SVM decides whether to exploit parallelism, a
+// REP tree decides GPU tiling, and M5 model trees predict cpu-tile, band
+// and halo.
+type Tuner struct {
+	Sys      hw.System
+	Parallel *ml.SVM
+	CPUTile  *ml.M5Tree
+	GPUTile  *ml.REPTree
+	Band     *ml.M5Tree
+	Halo     *ml.M5Tree
+	Report   TrainReport
+}
+
+// TrainReport records cross-validated model quality: the paper requires
+// at least 90% before deployment.
+type TrainReport struct {
+	ParallelAcc float64
+	CPUTileAcc  float64
+	GPUTileAcc  float64
+	BandAcc     float64
+	HaloAcc     float64
+	// Configs counts the model configurations explored to reach the
+	// accuracy target ("we explored different configurations of the
+	// learning model").
+	Configs int
+}
+
+// MinAccuracy returns the worst per-target accuracy.
+func (r TrainReport) MinAccuracy() float64 {
+	m := r.ParallelAcc
+	for _, v := range []float64{r.CPUTileAcc, r.GPUTileAcc, r.BandAcc, r.HaloAcc} {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// m5Configs are the model configurations tried, in order, until the
+// cross-validated accuracy target is met.
+func m5Configs() []ml.M5Options {
+	base := ml.DefaultM5Options()
+	noSmooth := base
+	noSmooth.Smooth = false
+	bigLeaf := base
+	bigLeaf.MinLeaf = 8
+	smallLeaf := noSmooth
+	smallLeaf.MinLeaf = 2
+	return []ml.M5Options{base, noSmooth, bigLeaf, smallLeaf}
+}
+
+// Train fits a tuner from an exhaustive search result.
+func Train(sr *SearchResult, opts TrainOptions) (*Tuner, error) {
+	opts = opts.withDefaults()
+	tr, err := BuildTraining(sr, opts)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tuner{Sys: sr.Sys}
+
+	// Parallelism gate: binary SVM.
+	svm, err := ml.FitSVM(tr.Parallel, ml.SVMOptions{Seed: opts.Seed})
+	if err != nil {
+		return nil, fmt.Errorf("core: training parallelism SVM: %w", err)
+	}
+	t.Parallel = svm
+	t.Report.ParallelAcc = svm.Accuracy(tr.Parallel)
+
+	// Regression targets: explore M5 configurations until the CV accuracy
+	// gate passes, keeping the best.
+	fitM5 := func(d *ml.Dataset, absTol, relTol float64) (*ml.M5Tree, float64, error) {
+		if d.Len() < opts.CVFolds {
+			// Too small to cross-validate: fit directly.
+			return ml.FitM5(d, ml.DefaultM5Options()), 1, nil
+		}
+		var best *ml.M5Tree
+		bestAcc := -1.0
+		for _, cfg := range m5Configs() {
+			t.Report.Configs++
+			acc, err := ml.CrossValidateAccuracy(d, opts.CVFolds, opts.Seed, absTol, relTol,
+				func(train *ml.Dataset) ml.Model { return ml.FitM5(train, cfg) })
+			if err != nil {
+				return nil, 0, err
+			}
+			if acc > bestAcc {
+				bestAcc = acc
+				best = ml.FitM5(d, cfg)
+			}
+			if acc >= opts.AccuracyTarget {
+				return ml.FitM5(d, cfg), acc, nil
+			}
+		}
+		return best, bestAcc, nil
+	}
+
+	if t.CPUTile, t.Report.CPUTileAcc, err = fitM5(tr.CPUTile, 2.5, 0.5); err != nil {
+		return nil, fmt.Errorf("core: training cpu-tile model: %w", err)
+	}
+	// Band tolerance scales with problem size; a 10% relative window plus
+	// a small absolute slack mirrors "useful prediction" for offload
+	// extents.
+	if t.Band, t.Report.BandAcc, err = fitM5(tr.Band, 60, 0.25); err != nil {
+		return nil, fmt.Errorf("core: training band model: %w", err)
+	}
+	if t.Halo, t.Report.HaloAcc, err = fitM5(tr.Halo, 8, 0.4); err != nil {
+		return nil, fmt.Errorf("core: training halo model: %w", err)
+	}
+
+	// GPU tiling: REP tree on the overloaded target (0 = GPU unused,
+	// otherwise the work-group tile). The paper found this "a binary
+	// decision that was accurately predicted using REP Tree".
+	t.GPUTile = ml.FitREP(tr.GPUTile, ml.REPOptions{Seed: opts.Seed})
+	if tr.GPUTile.Len() > 0 {
+		hits := 0
+		for i, x := range tr.GPUTile.X {
+			if t.GPUTile.Classify(x) == (tr.GPUTile.Y[i] >= 0.5) {
+				hits++
+			}
+		}
+		t.Report.GPUTileAcc = float64(hits) / float64(tr.GPUTile.Len())
+	}
+	return t, nil
+}
+
+// Prediction is a deployed tuning decision.
+type Prediction struct {
+	// Serial is set when the SVM gate predicts parallelism will not pay;
+	// the application should run the optimized sequential baseline.
+	Serial bool
+	Par    plan.Params
+}
+
+// String implements fmt.Stringer.
+func (p Prediction) String() string {
+	if p.Serial {
+		return "serial"
+	}
+	return p.Par.String()
+}
+
+// Predict maps an application's input parameters to tuned settings. The
+// regression models may propose values outside the searched grid, which is
+// how the paper's tuner achieved super-optimal points on the i3-540; the
+// predictions are only clamped to validity, never snapped to the grid.
+func (t *Tuner) Predict(inst plan.Instance) Prediction {
+	x := []float64{float64(inst.Dim), inst.TSize, float64(inst.DSize)}
+	if !t.Parallel.Classify(x) {
+		return Prediction{Serial: true, Par: engine.CPUOnlyParams(clampTile(engine.SerialTile, inst.Dim))}
+	}
+
+	ct := clampTile(int(math.Round(t.CPUTile.Predict(x))), inst.Dim)
+
+	// The REP tree's overloaded gpu-tile: below 0.5 the GPU is not
+	// employed at all (the paper's "0"); otherwise round to a work-group
+	// tile of at least 1.
+	gtRaw := t.GPUTile.Predict(x)
+	if gtRaw < 0.5 {
+		return Prediction{Par: engine.CPUOnlyParams(ct)}
+	}
+	gt := int(math.Round(gtRaw))
+	if gt < 1 {
+		gt = 1
+	}
+	if gt > 25 {
+		gt = 25
+	}
+
+	band := int(math.Round(t.Band.Predict(append(append([]float64{}, x...), float64(gt)))))
+	if band < 0 {
+		band = -1
+	}
+	if band > inst.Dim-1 {
+		// Bands beyond dim-1 are legal (Table 3) but equivalent to full
+		// offload; clamp to the canonical value.
+		band = inst.Dim - 1
+	}
+	par := plan.Params{CPUTile: ct, Band: band, GPUTile: gt, Halo: -1}
+	if band >= 0 && t.Sys.MaxGPUs() >= 2 {
+		halo := int(math.Round(t.Halo.Predict(append(append([]float64{}, x...),
+			float64(ct), float64(band)))))
+		if halo < 0 {
+			halo = -1
+		}
+		if max := plan.MaxHaloFor(inst, band); halo > max {
+			halo = max
+		}
+		par.Halo = halo
+	}
+	return Prediction{Par: par.Normalize()}
+}
+
+func clampTile(ct, dim int) int {
+	if ct < 1 {
+		ct = 1
+	}
+	if ct > dim {
+		ct = dim
+	}
+	if ct > 64 {
+		ct = 64
+	}
+	return ct
+}
+
+// RTimeFor returns the modeled runtime of a prediction on the tuner's
+// system: the serial baseline when the gate said serial, otherwise the
+// estimated hybrid runtime.
+func (t *Tuner) RTimeFor(inst plan.Instance, pred Prediction) (float64, error) {
+	if pred.Serial {
+		return engine.SerialNs(t.Sys, inst), nil
+	}
+	res, err := engine.Estimate(t.Sys, inst, pred.Par, engine.Options{})
+	if err != nil {
+		return 0, err
+	}
+	return res.RTimeNs, nil
+}

@@ -1,0 +1,169 @@
+// Package cpuexec executes wavefront computations on the real host CPU.
+// It provides the serial reference sweep and the tiled parallel executor
+// described in Section 2 of the paper: the grid is partitioned into square
+// cpu-tile x cpu-tile tiles, tiles on the same tile-diagonal are
+// independent and run concurrently on a goroutine worker pool, and a
+// barrier separates consecutive tile-diagonals.
+//
+// This is the "threads to control CPU phases" half of the paper's library;
+// the simulated platforms use the same tile-diagonal schedule via package
+// plan, so native runs and modeled runs share one decomposition.
+package cpuexec
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/grid"
+	"repro/internal/kernels"
+)
+
+// RunSerial computes every cell of g with k in row-major order, the
+// optimized sequential baseline of the paper's comparisons.
+func RunSerial(k kernels.Kernel, g *grid.Grid) {
+	dim := g.Dim()
+	for r := 0; r < dim; r++ {
+		for c := 0; c < dim; c++ {
+			k.Compute(g, r, c)
+		}
+	}
+}
+
+// RunSerialDiagRange computes the cells on diagonals [lo, hi] of g in
+// anti-diagonal order. It is the reference for phase-restricted execution.
+func RunSerialDiagRange(k kernels.Kernel, g *grid.Grid, lo, hi int) {
+	dim := g.Dim()
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > grid.NumDiags(dim)-1 {
+		hi = grid.NumDiags(dim) - 1
+	}
+	for d := lo; d <= hi; d++ {
+		for i := 0; i < grid.DiagLen(dim, d); i++ {
+			r, c := grid.DiagCell(dim, d, i)
+			k.Compute(g, r, c)
+		}
+	}
+}
+
+// Executor runs tiled parallel wavefront sweeps on a persistent
+// fixed-size worker pool. An Executor is safe for sequential reuse across
+// many runs; Close releases its workers.
+type Executor struct {
+	workers int
+	pl      *pool
+}
+
+// New returns an executor with the given worker count; workers <= 0
+// selects GOMAXPROCS.
+func New(workers int) *Executor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Executor{workers: workers, pl: newPool(workers)}
+}
+
+// Close stops the executor's workers. The executor must not be used
+// afterwards.
+func (e *Executor) Close() { e.pl.close() }
+
+// Workers returns the pool size.
+func (e *Executor) Workers() int { return e.workers }
+
+// Run computes the whole grid with square tiles of side ct.
+func (e *Executor) Run(k kernels.Kernel, g *grid.Grid, ct int) error {
+	return e.RunDiagRange(k, g, ct, 0, grid.NumDiags(g.Dim())-1)
+}
+
+// RunDiagRange computes the cells of g whose diagonal index lies in
+// [lo, hi], using tiles of side ct. Tiles are processed tile-diagonal by
+// tile-diagonal; within a tile, cells are visited row-major and clipped to
+// the diagonal range, so the executor is usable for the CPU phases of the
+// three-phase strategy.
+func (e *Executor) RunDiagRange(k kernels.Kernel, g *grid.Grid, ct, lo, hi int) error {
+	dim := g.Dim()
+	if ct < 1 || ct > dim {
+		return fmt.Errorf("cpuexec: cpu-tile %d outside [1,%d]", ct, dim)
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > grid.NumDiags(dim)-1 {
+		hi = grid.NumDiags(dim) - 1
+	}
+	if hi < lo {
+		return nil
+	}
+	nT := (dim + ct - 1) / ct
+	// Tile (I,J) holds cell diagonals [ (I+J)*ct, (I+J+2)*ct-2 ]; it can
+	// only contain region cells when (I+J)*ct <= hi and its max diagonal
+	// reaches lo.
+	tLo := 0
+	if lo >= 2*ct-1 {
+		tLo = (lo - (2*ct - 2) + ct - 1) / ct
+		if tLo < 0 {
+			tLo = 0
+		}
+	}
+	tHi := hi / ct
+	if tHi > 2*nT-2 {
+		tHi = 2*nT - 2
+	}
+	for t := tLo; t <= tHi; t++ {
+		if err := e.runTileDiag(k, g, ct, nT, t, lo, hi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runTileDiag executes all tiles with I+J == t in parallel and waits.
+func (e *Executor) runTileDiag(k kernels.Kernel, g *grid.Grid, ct, nT, t, lo, hi int) error {
+	iMin := 0
+	if t-(nT-1) > 0 {
+		iMin = t - (nT - 1)
+	}
+	iMax := t
+	if iMax > nT-1 {
+		iMax = nT - 1
+	}
+	n := iMax - iMin + 1
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 || e.workers == 1 {
+		// A single tile (the wavefront ramp) runs inline: no barrier cost.
+		for i := iMin; i <= iMax; i++ {
+			computeTile(k, g, i*ct, (t-i)*ct, ct, lo, hi)
+		}
+		return nil
+	}
+	e.pl.run(n, func(idx int) {
+		i := iMin + idx
+		computeTile(k, g, i*ct, (t-i)*ct, ct, lo, hi)
+	})
+	return nil
+}
+
+// computeTile evaluates the cells of the tile with top-left corner
+// (r0, c0), restricted to diagonals [lo, hi].
+func computeTile(k kernels.Kernel, g *grid.Grid, r0, c0, ct, lo, hi int) {
+	dim := g.Dim()
+	rMax := r0 + ct
+	if rMax > dim {
+		rMax = dim
+	}
+	cMax := c0 + ct
+	if cMax > dim {
+		cMax = dim
+	}
+	for r := r0; r < rMax; r++ {
+		for c := c0; c < cMax; c++ {
+			if d := r + c; d < lo || d > hi {
+				continue
+			}
+			k.Compute(g, r, c)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package cpuexec
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// pool is a persistent worker pool used by the executor: workers live for
+// the pool's lifetime and pick tile indices off a shared atomic counter,
+// so a wavefront of many small tile-diagonals does not pay a goroutine
+// spawn per barrier.
+type pool struct {
+	workers int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	gen     int64 // generation counter; bumped per parallel region
+	work    func(i int)
+	n       int64 // items in the current region
+	next    int64 // shared claim counter
+	pending int64 // workers still draining the current region
+	done    chan struct{}
+	closed  bool
+}
+
+// newPool starts workers goroutines.
+func newPool(workers int) *pool {
+	p := &pool{workers: workers, done: make(chan struct{}, 1)}
+	p.cond = sync.NewCond(&p.mu)
+	for w := 0; w < workers; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	var seen int64
+	for {
+		p.mu.Lock()
+		for p.gen == seen && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		seen = p.gen
+		work, n := p.work, p.n
+		p.mu.Unlock()
+
+		for {
+			i := atomic.AddInt64(&p.next, 1) - 1
+			if i >= n {
+				break
+			}
+			work(int(i))
+		}
+		if atomic.AddInt64(&p.pending, -1) == 0 {
+			p.done <- struct{}{}
+		}
+	}
+}
+
+// run executes work(0..n-1) across the pool and blocks until all items
+// complete. It must not be called concurrently with itself.
+func (p *pool) run(n int, work func(i int)) {
+	if n <= 0 {
+		return
+	}
+	p.mu.Lock()
+	p.work = work
+	p.n = int64(n)
+	atomic.StoreInt64(&p.next, 0)
+	atomic.StoreInt64(&p.pending, int64(p.workers))
+	p.gen++
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	<-p.done
+}
+
+// close terminates the workers. The pool is unusable afterwards.
+func (p *pool) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}

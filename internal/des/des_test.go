@@ -1,0 +1,230 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []float64
+	for _, d := range []float64{5, 1, 3, 2, 4} {
+		d := d
+		e.Schedule(d, func() { order = append(order, d) })
+	}
+	end := e.Run()
+	if end != 5 {
+		t.Errorf("final time = %v, want 5", end)
+	}
+	if !sort.Float64sAreSorted(order) {
+		t.Errorf("events out of order: %v", order)
+	}
+}
+
+func TestFIFOTieBreaking(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(7, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-broken order %v not FIFO", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var hit []string
+	e.Schedule(1, func() {
+		hit = append(hit, "a")
+		e.Schedule(2, func() { hit = append(hit, "c") })
+	})
+	e.Schedule(2, func() { hit = append(hit, "b") })
+	e.Run()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if i >= len(hit) || hit[i] != want[i] {
+			t.Fatalf("got %v, want %v", hit, want)
+		}
+	}
+	if e.Now() != 3 {
+		t.Errorf("Now = %v, want 3", e.Now())
+	}
+}
+
+func TestSchedulePanicsOnNegativeDelay(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewEngine().Schedule(-1, func() {})
+}
+
+func TestResourceSerializes(t *testing.T) {
+	// Capacity 1: three 10ns uses must finish at 10, 20, 30.
+	e := NewEngine()
+	r := NewResource(e, "bus", 1)
+	var finish []float64
+	for i := 0; i < 3; i++ {
+		r.Use(10, func() { finish = append(finish, e.Now()) })
+	}
+	e.Run()
+	want := []float64{10, 20, 30}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish times %v, want %v", finish, want)
+		}
+	}
+	if r.Busy != 30 {
+		t.Errorf("busy = %v, want 30", r.Busy)
+	}
+}
+
+func TestResourceParallelSlots(t *testing.T) {
+	// Capacity 2: four 10ns uses finish at 10,10,20,20.
+	e := NewEngine()
+	r := NewResource(e, "pool", 2)
+	var finish []float64
+	for i := 0; i < 4; i++ {
+		r.Use(10, func() { finish = append(finish, e.Now()) })
+	}
+	e.Run()
+	want := []float64{10, 10, 20, 20}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish times %v, want %v", finish, want)
+		}
+	}
+}
+
+func TestResourceFIFOGrantOrder(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "q", 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		r.Use(1, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("grant order %v not FIFO", order)
+		}
+	}
+}
+
+func TestReleasePanicsWhenIdle(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	e := NewEngine()
+	NewResource(e, "x", 1).Release()
+}
+
+func TestBarrier(t *testing.T) {
+	e := NewEngine()
+	done := false
+	arrive := e.Barrier(3, func() { done = true })
+	e.Schedule(1, arrive)
+	e.Schedule(2, arrive)
+	e.Schedule(5, arrive)
+	e.Run()
+	if !done {
+		t.Error("barrier continuation not run")
+	}
+	if e.Now() != 5 {
+		t.Errorf("barrier released at %v, want 5", e.Now())
+	}
+}
+
+func TestBarrierZero(t *testing.T) {
+	e := NewEngine()
+	done := false
+	e.Barrier(0, func() { done = true })
+	e.Run()
+	if !done {
+		t.Error("zero barrier must fire immediately")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	steps := []func(next func()){
+		func(next func()) { order = append(order, 1); e.Schedule(10, next) },
+		func(next func()) { order = append(order, 2); e.Schedule(10, next) },
+		func(next func()) { order = append(order, 3); next() },
+	}
+	fin := false
+	e.Series(steps, func() { fin = true })
+	e.Run()
+	if !fin || len(order) != 3 || order[0] != 1 || order[2] != 3 {
+		t.Fatalf("series ran wrong: order=%v fin=%v", order, fin)
+	}
+	if e.Now() != 20 {
+		t.Errorf("series end time = %v, want 20", e.Now())
+	}
+}
+
+func TestClockMonotoneProperty(t *testing.T) {
+	// Property: for any random schedule of events, observed times are
+	// non-decreasing and the final time equals the max delay.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		n := rng.Intn(50) + 1
+		maxD := 0.0
+		prev := -1.0
+		ok := true
+		for i := 0; i < n; i++ {
+			d := rng.Float64() * 100
+			if d > maxD {
+				maxD = d
+			}
+			e.Schedule(d, func() {
+				if e.Now() < prev {
+					ok = false
+				}
+				prev = e.Now()
+			})
+		}
+		return e.Run() == maxD && ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []float64 {
+		e := NewEngine()
+		r := NewResource(e, "bus", 1)
+		var times []float64
+		for i := 0; i < 20; i++ {
+			d := float64((i*7)%5 + 1)
+			e.Schedule(float64(i%3), func() {
+				r.Use(d, func() { times = append(times, e.Now()) })
+			})
+		}
+		e.Run()
+		return times
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("different event counts across runs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,542 @@
+// Package engine executes three-phase wavefront plans on the modeled
+// heterogeneous systems. It provides two equivalent views of a run:
+//
+//   - Estimate: a fast analytic walk of the plan that returns virtual time
+//     and a cost breakdown without touching any data. The exhaustive
+//     search evaluates hundreds of thousands of configurations through
+//     this path.
+//   - Simulate: a functional discrete-event simulation through the simcl
+//     runtime that computes real cell values while accumulating exactly
+//     the same modeled costs. Tests assert that both paths agree, so the
+//     cheap path is trustworthy.
+//
+// Both derive every duration from the hw cost models; the choreography
+// (phases, per-period device lockstep, halo swap schedule, transfer sizes)
+// is defined once in this package.
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cpuexec"
+	"repro/internal/grid"
+	"repro/internal/hw"
+	"repro/internal/kernels"
+	"repro/internal/plan"
+	"repro/internal/simcl"
+)
+
+// SerialTile is the tile side used by the optimized sequential baseline.
+const SerialTile = 8
+
+// DefaultThresholdNs is the paper's 90-second exploration cutoff.
+const DefaultThresholdNs = 90e9
+
+// Options control an estimate.
+type Options struct {
+	// ThresholdNs censors runs longer than this; 0 disables censoring.
+	ThresholdNs float64
+	// GPUs, when > 2, widens a multi-GPU configuration (halo >= 0) to
+	// that many devices — the paper's future-work extension beyond two
+	// GPUs. It is clamped to the system's device count and ignored for
+	// single-GPU and all-CPU configurations.
+	GPUs int
+	// CollectTrace records a command timeline during Simulate (ignored by
+	// Estimate); the trace is returned in Result.Trace.
+	CollectTrace bool
+}
+
+// Breakdown itemizes where the virtual time went.
+type Breakdown struct {
+	Phase1Ns float64 // leading CPU triangle
+	GPUNs    float64 // whole GPU phase including transfers and swaps
+	Phase3Ns float64 // trailing CPU triangle
+
+	StartupNs float64 // device context creation and build
+	LaunchNs  float64 // accumulated kernel launch overhead
+	ComputeNs float64 // on-device compute including barrier steps
+	XferNs    float64 // input + output transfers
+	SwapNs    float64 // halo exchange transfers
+
+	Kernels         int
+	Swaps           int
+	RedundantPoints int
+}
+
+// Result is the outcome of one modeled run.
+type Result struct {
+	// RTimeNs is the end-to-end virtual runtime.
+	RTimeNs float64
+	// Censored is set when the run exceeded Options.ThresholdNs and was
+	// cut off (the paper's 90 s rule); RTimeNs then holds the threshold.
+	Censored bool
+	Plan     *plan.Plan
+	// Trace holds the command timeline when Options.CollectTrace was set
+	// on a Simulate call.
+	Trace *simcl.Trace
+	Breakdown
+}
+
+// RTimeSec returns the runtime in seconds.
+func (r Result) RTimeSec() float64 { return r.RTimeNs / 1e9 }
+
+// validate checks that the system can satisfy the plan's device demands.
+func validate(sys hw.System, par plan.Params) error {
+	need := par.GPUCount()
+	if need > sys.MaxGPUs() {
+		return fmt.Errorf("engine: config needs %d GPU(s) but %s has %d usable",
+			need, sys.Name, sys.MaxGPUs())
+	}
+	return nil
+}
+
+// cpuPhaseNs models a tiled parallel CPU phase over cell-diagonals
+// [lo, hi]: each tile-diagonal contributes its cells divided by the
+// available parallelism (capped by the tile wavefront width) plus one
+// barrier.
+func cpuPhaseNs(sys hw.System, inst plan.Instance, ct, lo, hi int) float64 {
+	if hi < lo {
+		return 0
+	}
+	per := sys.CPU.PointNs(inst.TSize, ct, inst.ElemBytes())
+	total := 0.0
+	for _, td := range plan.CPUTileDiags(inst.Dim, ct, lo, hi) {
+		p := math.Min(float64(td.NTiles), sys.CPU.EffParallel)
+		total += float64(td.Cells)*per/p + sys.CPU.TileBarrierNs
+	}
+	return total
+}
+
+// SerialNs returns the optimized sequential baseline: a single-core sweep
+// with the serial-best tile size and no synchronization.
+func SerialNs(sys hw.System, inst plan.Instance) float64 {
+	ct := SerialTile
+	if ct > inst.Dim {
+		ct = inst.Dim
+	}
+	per := sys.CPU.PointNs(inst.TSize, ct, inst.ElemBytes())
+	return float64(inst.Dim) * float64(inst.Dim) * per
+}
+
+// gpuSchedule captures the device-side choreography of the GPU phase so
+// the analytic and functional paths walk identical structures.
+type gpuSchedule struct {
+	nGPU     int
+	xferIn   []int // bytes per device
+	xferOut  []int
+	swapByte int
+	periods  []gpuPeriod
+}
+
+type gpuPeriod struct {
+	// launches[dev] is the launch list of one device for this period.
+	launches [][]launchSpec
+	// swapAfter is true when a halo exchange follows the period; each of
+	// the nGPU-1 partition boundaries then moves swapByte bytes through
+	// the host (2 transfers per boundary).
+	swapAfter bool
+}
+
+// launchSpec is one kernel launch covering the device's partitions of a
+// chunk of consecutive diagonals (chunk length = gpu-tile).
+type launchSpec struct {
+	points    int
+	syncSteps int
+	inflate   float64
+	// segs lists the covered row segments for functional execution.
+	segs []diagSeg
+}
+
+type diagSeg struct {
+	d, rowLo, rowHi int // rows [rowLo, rowHi] of diagonal d; empty if lo>hi
+}
+
+// buildGPUSchedule constructs the phase-2 choreography for a plan.
+// wantGPUs > 2 widens a dual-GPU configuration to that many devices.
+func buildGPUSchedule(pl *plan.Plan, functional bool, wantGPUs int) *gpuSchedule {
+	nGPU := pl.Par.GPUCount()
+	if nGPU == 2 && wantGPUs > 2 {
+		nGPU = wantGPUs
+	}
+	if nGPU == 0 || pl.GPUDiags() == 0 {
+		return nil
+	}
+	inst := pl.Inst
+	elem := inst.ElemBytes()
+	sch := &gpuSchedule{nGPU: nGPU, xferIn: make([]int, nGPU), xferOut: make([]int, nGPU)}
+
+	// Input: the two predecessor diagonals feeding the band, split across
+	// devices.
+	inBytes := (grid.DiagLen(inst.Dim, pl.GLo-1) + grid.DiagLen(inst.Dim, pl.GLo-2)) * elem
+	for dev := 0; dev < nGPU; dev++ {
+		sch.xferIn[dev] = inBytes / nGPU
+	}
+	// Output: the full band region returns to the host; the last device
+	// absorbs the rounding remainder.
+	outCells := pl.GPUCells()
+	for dev := 0; dev < nGPU; dev++ {
+		sch.xferOut[dev] = outCells / nGPU * elem
+	}
+	sch.xferOut[nGPU-1] = (outCells - (nGPU-1)*(outCells/nGPU)) * elem
+
+	h := pl.Par.Halo
+	period := pl.GPUDiags()
+	if nGPU >= 2 {
+		period = pl.SwapPeriod()
+		swapElems := h
+		if swapElems < 1 {
+			swapElems = 1
+		}
+		sch.swapByte = swapElems * elem
+	}
+	g := pl.Par.GPUTile
+	inflate := 1.0
+	sync := 0
+	if g > 1 {
+		inflate = float64(2*g-1) / float64(g)
+		sync = 2*g - 1
+	}
+
+	for ds := pl.GLo; ds <= pl.GHi; ds += period {
+		m := period
+		if ds+m-1 > pl.GHi {
+			m = pl.GHi - ds + 1
+		}
+		p := gpuPeriod{launches: make([][]launchSpec, nGPU)}
+		p.swapAfter = nGPU >= 2 && ds+m <= pl.GHi
+		// Partition boundary rows for this period, cut from its first
+		// diagonal: bounds[j] is the first row of device j's share.
+		a0 := grid.DiagStartRow(inst.Dim, ds)
+		l0 := grid.DiagLen(inst.Dim, ds)
+		bounds := make([]int, nGPU+1)
+		for j := 0; j <= nGPU; j++ {
+			bounds[j] = a0 + j*l0/nGPU
+		}
+		for dev := 0; dev < nGPU; dev++ {
+			for c0 := 0; c0 < m; c0 += g {
+				cn := g
+				if c0+cn > m {
+					cn = m - c0
+				}
+				spec := launchSpec{inflate: inflate}
+				if g > 1 {
+					spec.syncSteps = sync
+				}
+				for k := c0; k < c0+cn; k++ {
+					d := ds + k
+					lo, hi := devRows(inst.Dim, d, dev, nGPU, bounds, m-1-k)
+					if hi < lo {
+						continue
+					}
+					spec.points += hi - lo + 1
+					if functional {
+						spec.segs = append(spec.segs, diagSeg{d: d, rowLo: lo, rowHi: hi})
+					}
+				}
+				if spec.points > 0 {
+					p.launches[dev] = append(p.launches[dev], spec)
+				}
+			}
+		}
+		sch.periods = append(sch.periods, p)
+	}
+	return sch
+}
+
+// devRows returns the inclusive row range device dev computes on diagonal
+// d. bounds holds the period's partition cut rows (bounds[j] is the first
+// row of device j's share). A device below a partition boundary
+// additionally computes a shrinking overlap of ov rows above its cut (the
+// redundant halo computation of Section 2.1), because the wavefront
+// dependencies point towards lower rows. With one device the whole
+// diagonal is returned.
+func devRows(dim, d, dev, nGPU int, bounds []int, ov int) (lo, hi int) {
+	a := grid.DiagStartRow(dim, d)
+	b := a + grid.DiagLen(dim, d) - 1
+	if nGPU == 1 {
+		return a, b
+	}
+	if dev == 0 {
+		lo = a
+	} else {
+		lo = bounds[dev] - ov
+		if lo < a {
+			lo = a
+		}
+	}
+	if dev == nGPU-1 {
+		hi = b
+	} else {
+		hi = bounds[dev+1] - 1
+		if hi > b {
+			hi = b
+		}
+	}
+	return lo, hi
+}
+
+// Estimate models a run of inst with parameters par on sys and returns
+// its virtual time and breakdown without computing any data.
+func Estimate(sys hw.System, inst plan.Instance, par plan.Params, opts Options) (Result, error) {
+	if err := validate(sys, par); err != nil {
+		return Result{}, err
+	}
+	if opts.GPUs > len(sys.GPUs) {
+		return Result{}, fmt.Errorf("engine: %d GPUs requested but %s has %d",
+			opts.GPUs, sys.Name, len(sys.GPUs))
+	}
+	pl, err := plan.Build(inst, par)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{Plan: pl}
+	over := func() bool {
+		if opts.ThresholdNs > 0 && res.RTimeNs > opts.ThresholdNs {
+			res.RTimeNs = opts.ThresholdNs
+			res.Censored = true
+			return true
+		}
+		return false
+	}
+
+	res.Phase1Ns = cpuPhaseNs(sys, inst, par.CPUTile, pl.P1Lo, pl.P1Hi)
+	res.RTimeNs += res.Phase1Ns
+	if over() {
+		return res, nil
+	}
+
+	if sch := buildGPUSchedule(pl, false, opts.GPUs); sch != nil {
+		gpuStart := res.RTimeNs
+		// Startup is concurrent across devices; identical models per
+		// system make max == single value, but take max for generality.
+		var startup float64
+		for dev := 0; dev < sch.nGPU; dev++ {
+			startup = math.Max(startup, sys.GPUs[dev].StartupNs)
+			res.StartupNs += sys.GPUs[dev].StartupNs
+		}
+		res.RTimeNs += startup
+		// Input transfers serialize on the link.
+		for dev := 0; dev < sch.nGPU; dev++ {
+			x := sys.Link.XferNs(sch.xferIn[dev])
+			res.XferNs += x
+			res.RTimeNs += x
+		}
+		for _, p := range sch.periods {
+			var span float64
+			for dev := 0; dev < sch.nGPU; dev++ {
+				var devNs float64
+				for _, l := range p.launches[dev] {
+					dur := sys.GPUs[dev].LaunchDurationNs(sys.CPU, l.points, inst.TSize,
+						inst.DSize, l.syncSteps, l.inflate)
+					devNs += dur
+					res.Kernels++
+					res.LaunchNs += sys.GPUs[dev].LaunchNs
+					res.ComputeNs += dur - sys.GPUs[dev].LaunchNs
+				}
+				span = math.Max(span, devNs)
+			}
+			res.RTimeNs += span
+			if p.swapAfter {
+				s := float64(2*(sch.nGPU-1)) * sys.Link.XferNs(sch.swapByte)
+				res.SwapNs += s
+				res.RTimeNs += s
+				res.Swaps++
+			}
+			if over() {
+				return res, nil
+			}
+		}
+		for dev := 0; dev < sch.nGPU; dev++ {
+			x := sys.Link.XferNs(sch.xferOut[dev])
+			res.XferNs += x
+			res.RTimeNs += x
+		}
+		res.RedundantPoints = pl.RedundantPoints()
+		res.GPUNs = res.RTimeNs - gpuStart
+		if over() {
+			return res, nil
+		}
+	}
+
+	res.Phase3Ns = cpuPhaseNs(sys, inst, par.CPUTile, pl.P3Lo, pl.P3Hi)
+	res.RTimeNs += res.Phase3Ns
+	over()
+	return res, nil
+}
+
+// Simulate executes a functional run of kernel k (dim x dim) with
+// parameters par on the modeled system: real cell values are computed via
+// the simulated OpenCL runtime and CPU phases, and the returned result
+// carries the virtual time of the discrete-event simulation.
+func Simulate(sys hw.System, dim int, k kernels.Kernel, par plan.Params) (Result, *grid.Grid, error) {
+	return SimulateOpts(sys, dim, k, par, Options{})
+}
+
+// SimulateOpts is Simulate with explicit options (e.g. widening to more
+// than two GPUs).
+func SimulateOpts(sys hw.System, dim int, k kernels.Kernel, par plan.Params, opts Options) (Result, *grid.Grid, error) {
+	inst := plan.Instance{Dim: dim, TSize: k.TSize(), DSize: k.DSize()}
+	if err := validate(sys, par); err != nil {
+		return Result{}, nil, err
+	}
+	if opts.GPUs > len(sys.GPUs) {
+		return Result{}, nil, fmt.Errorf("engine: %d GPUs requested but %s has %d",
+			opts.GPUs, sys.Name, len(sys.GPUs))
+	}
+	pl, err := plan.Build(inst, par)
+	if err != nil {
+		return Result{}, nil, err
+	}
+	res := Result{Plan: pl}
+	g := grid.New(dim, k.DSize())
+	p := simcl.NewPlatform(sys)
+	p.Functional = true
+	if opts.CollectTrace {
+		p.Trace = &simcl.Trace{}
+		res.Trace = p.Trace
+	}
+	eng := p.Eng
+
+	sch := buildGPUSchedule(pl, true, opts.GPUs)
+	var steps []func(next func())
+
+	// Phase 1: leading CPU triangle.
+	if pl.P1Hi >= pl.P1Lo {
+		dur := cpuPhaseNs(sys, inst, par.CPUTile, pl.P1Lo, pl.P1Hi)
+		res.Phase1Ns = dur
+		steps = append(steps, func(next func()) {
+			p.HostCompute(dur, func() {
+				cpuexec.RunSerialDiagRange(k, g, pl.P1Lo, pl.P1Hi)
+				next()
+			})
+		})
+	}
+
+	// Phase 2: the offloaded band.
+	if sch != nil {
+		var gpuT0 float64
+		steps = append(steps,
+			func(next func()) {
+				gpuT0 = eng.Now()
+				arrive := eng.Barrier(sch.nGPU, next)
+				for dev := 0; dev < sch.nGPU; dev++ {
+					p.Devs[dev].Start(arrive)
+				}
+			},
+			func(next func()) {
+				arrive := eng.Barrier(sch.nGPU, next)
+				for dev := 0; dev < sch.nGPU; dev++ {
+					p.Devs[dev].EnqueueXfer(sch.xferIn[dev], arrive)
+				}
+			})
+		for _, period := range sch.periods {
+			period := period
+			steps = append(steps, func(next func()) {
+				total := 0
+				for dev := 0; dev < sch.nGPU; dev++ {
+					total += len(period.launches[dev])
+				}
+				arrive := eng.Barrier(total, next)
+				for dev := 0; dev < sch.nGPU; dev++ {
+					for _, l := range period.launches[dev] {
+						segs := l.segs
+						p.Devs[dev].EnqueueKernel(simcl.KernelReq{
+							Points:    l.points,
+							TSize:     inst.TSize,
+							DSize:     inst.DSize,
+							SyncSteps: l.syncSteps,
+							Inflate:   l.inflate,
+							Body: func() {
+								for _, s := range segs {
+									for r := s.rowLo; r <= s.rowHi; r++ {
+										k.Compute(g, r, s.d-r)
+									}
+								}
+							},
+						}, arrive)
+					}
+				}
+			})
+			if period.swapAfter {
+				steps = append(steps, func(next func()) {
+					// At each partition boundary the upper device's edge
+					// rows go to the host and on to the device below; the
+					// boundary exchanges chain on the shared link.
+					res.Swaps++
+					var chain func(b int)
+					chain = func(b int) {
+						if b >= sch.nGPU-1 {
+							next()
+							return
+						}
+						p.Devs[b].EnqueueXfer(sch.swapByte, func() {
+							p.Devs[b+1].EnqueueXfer(sch.swapByte, func() { chain(b + 1) })
+						})
+					}
+					chain(0)
+				})
+			}
+		}
+		steps = append(steps, func(next func()) {
+			arrive := eng.Barrier(sch.nGPU, func() {
+				res.GPUNs = eng.Now() - gpuT0
+				next()
+			})
+			for dev := 0; dev < sch.nGPU; dev++ {
+				p.Devs[dev].EnqueueXfer(sch.xferOut[dev], arrive)
+			}
+		})
+	}
+
+	// Phase 3: trailing CPU triangle.
+	if pl.P3Hi >= pl.P3Lo {
+		dur := cpuPhaseNs(sys, inst, par.CPUTile, pl.P3Lo, pl.P3Hi)
+		res.Phase3Ns = dur
+		steps = append(steps, func(next func()) {
+			p.HostCompute(dur, func() {
+				cpuexec.RunSerialDiagRange(k, g, pl.P3Lo, pl.P3Hi)
+				next()
+			})
+		})
+	}
+
+	eng.Series(steps, nil)
+	res.RTimeNs = eng.Run()
+
+	// Fold device statistics into the breakdown.
+	if sch != nil {
+		for dev := 0; dev < sch.nGPU; dev++ {
+			st := p.Devs[dev].Stats
+			res.Kernels += st.Kernels
+			res.StartupNs += st.StartupNs
+			res.LaunchNs += st.LaunchNs
+			res.ComputeNs += st.KernelNs
+		}
+		for dev := 0; dev < sch.nGPU; dev++ {
+			res.XferNs += sys.Link.XferNs(sch.xferIn[dev]) + sys.Link.XferNs(sch.xferOut[dev])
+		}
+		res.SwapNs = float64(2*res.Swaps*(sch.nGPU-1)) * sys.Link.XferNs(sch.swapByte)
+		res.RedundantPoints = pl.RedundantPoints()
+	}
+	return res, g, nil
+}
+
+// Reference computes the grid serially on the host, for verifying
+// simulated results.
+func Reference(dim int, k kernels.Kernel) *grid.Grid {
+	g := grid.New(dim, k.DSize())
+	cpuexec.RunSerial(k, g)
+	return g
+}
+
+// CPUOnlyParams returns the all-CPU configuration with the given tile.
+func CPUOnlyParams(ct int) plan.Params {
+	return plan.Params{CPUTile: ct, Band: -1, GPUTile: 1, Halo: -1}
+}
+
+// GPUOnlyParams returns the configuration that offloads every diagonal to
+// a single GPU.
+func GPUOnlyParams(dim int) plan.Params {
+	return plan.Params{CPUTile: 1, Band: dim - 1, GPUTile: 1, Halo: -1}
+}

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+)
+
+func TestExtGPUScalingShape(t *testing.T) {
+	rows, err := ExtGPUScaling(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 { // CPU, 1, 2, 3, 4 GPUs
+		t.Fatalf("want 5 rows, got %d", len(rows))
+	}
+	// Speedup must grow with device count for this coarse instance.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Speedup <= rows[i-1].Speedup {
+			t.Errorf("speedup not monotone at %d GPUs: %.2f <= %.2f",
+				rows[i].GPUs, rows[i].Speedup, rows[i-1].Speedup)
+		}
+	}
+	// But sub-linearly: 4 GPUs less than 4x the single-GPU speedup.
+	if rows[4].Speedup >= 4*rows[1].Speedup {
+		t.Error("scaling must be sub-linear (swap and transfer overheads)")
+	}
+	if s := RenderScaling(rows); !strings.Contains(s, "gpus") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestExtOnlineAtLeastOffline(t *testing.T) {
+	c := ctx(t)
+	sys := hw.I7_2600K()
+	rows, err := c.ExtOnline(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r.OnlineNs > r.OfflineNs*1.0000001 {
+			t.Errorf("%v: online %v worse than offline %v", r.Inst, r.OnlineNs, r.OfflineNs)
+		}
+		if r.Probes < 1 {
+			t.Errorf("%v: no probes recorded", r.Inst)
+		}
+	}
+	if s := RenderOnline(sys, rows); !strings.Contains(s, "probes") {
+		t.Error("render incomplete")
+	}
+}

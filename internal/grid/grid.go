@@ -1,0 +1,240 @@
+// Package grid provides the data substrate for 2D wavefront computations:
+// a square array of cells, each holding two integer variables and a
+// configurable number of floats (the paper's dsize), together with
+// anti-diagonal indexing helpers that every other layer builds on.
+//
+// A wavefront sweeps a dim x dim array from (0,0) towards (dim-1,dim-1) in
+// anti-diagonal bands: diagonal d contains all cells (r,c) with r+c == d.
+// Cell (r,c) may depend on its west (r,c-1), north (r-1,c) and northwest
+// (r-1,c-1) neighbours, all of which lie on diagonals d-1 and d-2, so the
+// diagonals form a linear dependence chain while cells within one diagonal
+// are independent — the data parallelism the paper exploits on GPUs.
+package grid
+
+import "fmt"
+
+// Grid is a square wavefront array with structure-of-arrays storage:
+// two int64 variables and DSize float64 values per cell, matching the
+// paper's synthetic element of "two int variables and a varying number of
+// floats". Storage is row-major; diagonal-major views are provided for
+// GPU-style access.
+type Grid struct {
+	dim   int
+	dsize int
+	// IntA and IntB are the two integer variables of each cell.
+	IntA []int64
+	IntB []int64
+	// Floats holds dsize consecutive float64 values per cell.
+	Floats []float64
+}
+
+// New allocates a dim x dim grid whose cells carry dsize floats each.
+// It panics if dim <= 0 or dsize < 0, as these are programming errors.
+func New(dim, dsize int) *Grid {
+	if dim <= 0 {
+		panic(fmt.Sprintf("grid: dim must be positive, got %d", dim))
+	}
+	if dsize < 0 {
+		panic(fmt.Sprintf("grid: dsize must be non-negative, got %d", dsize))
+	}
+	n := dim * dim
+	g := &Grid{
+		dim:   dim,
+		dsize: dsize,
+		IntA:  make([]int64, n),
+		IntB:  make([]int64, n),
+	}
+	if dsize > 0 {
+		g.Floats = make([]float64, n*dsize)
+	}
+	return g
+}
+
+// Dim returns the side length of the grid.
+func (g *Grid) Dim() int { return g.dim }
+
+// DSize returns the number of floats per cell.
+func (g *Grid) DSize() int { return g.dsize }
+
+// Cells returns the total number of cells, dim*dim.
+func (g *Grid) Cells() int { return g.dim * g.dim }
+
+// Index returns the row-major index of cell (r, c).
+func (g *Grid) Index(r, c int) int { return r*g.dim + c }
+
+// InBounds reports whether (r, c) lies inside the grid.
+func (g *Grid) InBounds(r, c int) bool {
+	return r >= 0 && r < g.dim && c >= 0 && c < g.dim
+}
+
+// Float returns the k-th float of cell (r, c).
+func (g *Grid) Float(r, c, k int) float64 {
+	return g.Floats[g.Index(r, c)*g.dsize+k]
+}
+
+// SetFloat sets the k-th float of cell (r, c).
+func (g *Grid) SetFloat(r, c, k int, v float64) {
+	g.Floats[g.Index(r, c)*g.dsize+k] = v
+}
+
+// A returns integer variable A of cell (r, c).
+func (g *Grid) A(r, c int) int64 { return g.IntA[g.Index(r, c)] }
+
+// B returns integer variable B of cell (r, c).
+func (g *Grid) B(r, c int) int64 { return g.IntB[g.Index(r, c)] }
+
+// SetA sets integer variable A of cell (r, c).
+func (g *Grid) SetA(r, c int, v int64) { g.IntA[g.Index(r, c)] = v }
+
+// SetB sets integer variable B of cell (r, c).
+func (g *Grid) SetB(r, c int, v int64) { g.IntB[g.Index(r, c)] = v }
+
+// ElemBytes returns the modeled size in bytes of one cell: 8 bytes for the
+// two int variables plus 8 bytes per float, so dsize=5 gives the paper's
+// 48-byte element and dsize=1 its 16-byte element.
+func ElemBytes(dsize int) int { return 8 + 8*dsize }
+
+// ElemBytes returns the modeled per-cell size of this grid.
+func (g *Grid) ElemBytes() int { return ElemBytes(g.dsize) }
+
+// NumDiags returns the number of anti-diagonals of a dim x dim grid.
+func NumDiags(dim int) int { return 2*dim - 1 }
+
+// DiagLen returns the number of cells on anti-diagonal d of a dim x dim
+// grid. Lengths rise 1,2,...,dim at d = dim-1 and fall back to 1, the
+// triangular parallelism profile of the paper's Figure 1(b).
+func DiagLen(dim, d int) int {
+	if d < 0 || d >= NumDiags(dim) {
+		return 0
+	}
+	if d < dim {
+		return d + 1
+	}
+	return 2*dim - 1 - d
+}
+
+// DiagStartRow returns the row of the first cell (smallest row index) on
+// anti-diagonal d. Cells on diagonal d are (r, d-r) for
+// r in [DiagStartRow, DiagStartRow+DiagLen).
+func DiagStartRow(dim, d int) int {
+	if d < dim {
+		return 0
+	}
+	return d - dim + 1
+}
+
+// DiagCell returns the i-th cell (r, c) of anti-diagonal d, ordered by
+// increasing row.
+func DiagCell(dim, d, i int) (r, c int) {
+	r = DiagStartRow(dim, d) + i
+	return r, d - r
+}
+
+// DiagOf returns the anti-diagonal index of cell (r, c).
+func DiagOf(r, c int) int { return r + c }
+
+// CellsUpToDiag returns the number of cells on diagonals [0, d], i.e. the
+// size of the leading region computed before diagonal d+1 starts.
+func CellsUpToDiag(dim, d int) int {
+	if d < 0 {
+		return 0
+	}
+	last := NumDiags(dim) - 1
+	if d >= last {
+		return dim * dim
+	}
+	if d < dim {
+		// Leading triangle: 1 + 2 + ... + (d+1).
+		n := d + 1
+		return n * (n + 1) / 2
+	}
+	// Total minus the trailing triangle strictly after d.
+	m := last - d // number of diagonals after d
+	return dim*dim - m*(m+1)/2
+}
+
+// CellsInDiagRange returns the number of cells on diagonals [lo, hi].
+func CellsInDiagRange(dim, lo, hi int) int {
+	if hi < lo {
+		return 0
+	}
+	return CellsUpToDiag(dim, hi) - CellsUpToDiag(dim, lo-1)
+}
+
+// DiagView is a diagonal-major addressing scheme for a contiguous range of
+// anti-diagonals, as used when staging a band of diagonals in GPU memory.
+// Diagonals are laid out back to back, each ordered by increasing row.
+type DiagView struct {
+	Dim     int
+	Lo, Hi  int   // inclusive diagonal range
+	offsets []int // offsets[i] = cells before diagonal Lo+i
+	total   int
+}
+
+// NewDiagView builds the diagonal-major layout for diagonals [lo, hi] of a
+// dim-sized grid. It panics on an invalid range: layout construction with
+// impossible bounds indicates a planner bug, not a runtime condition.
+func NewDiagView(dim, lo, hi int) *DiagView {
+	if lo < 0 || hi >= NumDiags(dim) || hi < lo {
+		panic(fmt.Sprintf("grid: invalid diagonal range [%d,%d] for dim %d", lo, hi, dim))
+	}
+	v := &DiagView{Dim: dim, Lo: lo, Hi: hi}
+	v.offsets = make([]int, hi-lo+2)
+	sum := 0
+	for d := lo; d <= hi; d++ {
+		v.offsets[d-lo] = sum
+		sum += DiagLen(dim, d)
+	}
+	v.offsets[hi-lo+1] = sum
+	v.total = sum
+	return v
+}
+
+// Total returns the number of cells covered by the view.
+func (v *DiagView) Total() int { return v.total }
+
+// Offset returns the linear offset of the i-th cell of diagonal d within
+// the view's packed layout.
+func (v *DiagView) Offset(d, i int) int {
+	return v.offsets[d-v.Lo] + i
+}
+
+// DiagOffset returns the linear offset at which diagonal d starts.
+func (v *DiagView) DiagOffset(d int) int { return v.offsets[d-v.Lo] }
+
+// Bytes returns the modeled byte size of the packed view for elements of
+// the given dsize.
+func (v *DiagView) Bytes(dsize int) int { return v.total * ElemBytes(dsize) }
+
+// Clone returns a deep copy of the grid, used to compare executor outputs
+// against the serial reference.
+func (g *Grid) Clone() *Grid {
+	c := &Grid{
+		dim:   g.dim,
+		dsize: g.dsize,
+		IntA:  append([]int64(nil), g.IntA...),
+		IntB:  append([]int64(nil), g.IntB...),
+	}
+	if g.Floats != nil {
+		c.Floats = append([]float64(nil), g.Floats...)
+	}
+	return c
+}
+
+// Equal reports whether two grids have identical shape and contents.
+func (g *Grid) Equal(o *Grid) bool {
+	if g.dim != o.dim || g.dsize != o.dsize {
+		return false
+	}
+	for i := range g.IntA {
+		if g.IntA[i] != o.IntA[i] || g.IntB[i] != o.IntB[i] {
+			return false
+		}
+	}
+	for i := range g.Floats {
+		if g.Floats[i] != o.Floats[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,211 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDiagLenSmall(t *testing.T) {
+	// 4x6 is the paper's Figure 1 example; we use square grids, so check
+	// the 4x4 profile explicitly: 1,2,3,4,3,2,1.
+	want := []int{1, 2, 3, 4, 3, 2, 1}
+	for d, w := range want {
+		if got := DiagLen(4, d); got != w {
+			t.Errorf("DiagLen(4,%d) = %d, want %d", d, got, w)
+		}
+	}
+	if DiagLen(4, -1) != 0 || DiagLen(4, 7) != 0 {
+		t.Error("out-of-range diagonals must have length 0")
+	}
+}
+
+func TestNumDiags(t *testing.T) {
+	for _, tc := range []struct{ dim, want int }{{1, 1}, {2, 3}, {4, 7}, {500, 999}} {
+		if got := NumDiags(tc.dim); got != tc.want {
+			t.Errorf("NumDiags(%d) = %d, want %d", tc.dim, got, tc.want)
+		}
+	}
+}
+
+func TestDiagLensSumToCells(t *testing.T) {
+	// Property: the diagonal lengths of a dim x dim grid sum to dim².
+	f := func(raw uint8) bool {
+		dim := int(raw)%100 + 1
+		sum := 0
+		for d := 0; d < NumDiags(dim); d++ {
+			sum += DiagLen(dim, d)
+		}
+		return sum == dim*dim
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiagCellRoundTrip(t *testing.T) {
+	// Property: every cell of diagonal d maps back to diagonal d and lies
+	// in bounds.
+	f := func(rawDim, rawD uint8) bool {
+		dim := int(rawDim)%60 + 1
+		d := int(rawD) % NumDiags(dim)
+		g := New(dim, 0)
+		for i := 0; i < DiagLen(dim, d); i++ {
+			r, c := DiagCell(dim, d, i)
+			if !g.InBounds(r, c) || DiagOf(r, c) != d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiagCellsDistinct(t *testing.T) {
+	// Every cell must appear on exactly one diagonal at exactly one index.
+	dim := 23
+	seen := make(map[int]bool)
+	for d := 0; d < NumDiags(dim); d++ {
+		for i := 0; i < DiagLen(dim, d); i++ {
+			r, c := DiagCell(dim, d, i)
+			idx := r*dim + c
+			if seen[idx] {
+				t.Fatalf("cell (%d,%d) visited twice", r, c)
+			}
+			seen[idx] = true
+		}
+	}
+	if len(seen) != dim*dim {
+		t.Fatalf("visited %d cells, want %d", len(seen), dim*dim)
+	}
+}
+
+func TestCellsUpToDiag(t *testing.T) {
+	// Cross-check the closed form against direct summation.
+	for _, dim := range []int{1, 2, 3, 7, 19, 64} {
+		sum := 0
+		for d := 0; d < NumDiags(dim); d++ {
+			sum += DiagLen(dim, d)
+			if got := CellsUpToDiag(dim, d); got != sum {
+				t.Fatalf("CellsUpToDiag(%d,%d) = %d, want %d", dim, d, got, sum)
+			}
+		}
+		if CellsUpToDiag(dim, -1) != 0 {
+			t.Fatalf("CellsUpToDiag(%d,-1) != 0", dim)
+		}
+		if CellsUpToDiag(dim, NumDiags(dim)+5) != dim*dim {
+			t.Fatalf("CellsUpToDiag past end must be dim²")
+		}
+	}
+}
+
+func TestCellsInDiagRange(t *testing.T) {
+	dim := 10
+	if got := CellsInDiagRange(dim, 0, NumDiags(dim)-1); got != 100 {
+		t.Errorf("full range = %d, want 100", got)
+	}
+	if got := CellsInDiagRange(dim, 5, 4); got != 0 {
+		t.Errorf("empty range = %d, want 0", got)
+	}
+	if got := CellsInDiagRange(dim, 9, 9); got != DiagLen(dim, 9) {
+		t.Errorf("main diagonal = %d, want %d", got, DiagLen(dim, 9))
+	}
+}
+
+func TestElemBytes(t *testing.T) {
+	// The paper: dsize=5 means 8 + 5*8 = 48 bytes; dsize=1 means 16 bytes.
+	if got := ElemBytes(5); got != 48 {
+		t.Errorf("ElemBytes(5) = %d, want 48", got)
+	}
+	if got := ElemBytes(1); got != 16 {
+		t.Errorf("ElemBytes(1) = %d, want 16", got)
+	}
+	if got := ElemBytes(0); got != 8 {
+		t.Errorf("ElemBytes(0) = %d, want 8", got)
+	}
+}
+
+func TestGridAccessors(t *testing.T) {
+	g := New(5, 3)
+	g.SetA(2, 3, 42)
+	g.SetB(2, 3, -7)
+	g.SetFloat(2, 3, 1, 3.5)
+	if g.A(2, 3) != 42 || g.B(2, 3) != -7 || g.Float(2, 3, 1) != 3.5 {
+		t.Error("accessor round trip failed")
+	}
+	if g.A(3, 2) != 0 {
+		t.Error("unrelated cell modified")
+	}
+	if g.Dim() != 5 || g.DSize() != 3 || g.Cells() != 25 || g.ElemBytes() != 32 {
+		t.Error("shape accessors wrong")
+	}
+}
+
+func TestDiagViewOffsets(t *testing.T) {
+	dim := 8
+	v := NewDiagView(dim, 3, 10)
+	// Offsets must be contiguous and total must equal the range cell count.
+	want := CellsInDiagRange(dim, 3, 10)
+	if v.Total() != want {
+		t.Fatalf("Total = %d, want %d", v.Total(), want)
+	}
+	seen := make(map[int]bool)
+	for d := 3; d <= 10; d++ {
+		for i := 0; i < DiagLen(dim, d); i++ {
+			off := v.Offset(d, i)
+			if off < 0 || off >= v.Total() {
+				t.Fatalf("offset %d out of range", off)
+			}
+			if seen[off] {
+				t.Fatalf("offset %d reused", off)
+			}
+			seen[off] = true
+		}
+	}
+	if len(seen) != want {
+		t.Fatalf("covered %d offsets, want %d", len(seen), want)
+	}
+	if v.Bytes(1) != want*16 {
+		t.Errorf("Bytes(1) = %d, want %d", v.Bytes(1), want*16)
+	}
+}
+
+func TestDiagViewPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for invalid range")
+		}
+	}()
+	NewDiagView(4, 5, 2)
+}
+
+func TestCloneEqual(t *testing.T) {
+	g := New(6, 2)
+	g.SetA(1, 1, 9)
+	g.SetFloat(5, 5, 1, 2.25)
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Fatal("clone not equal")
+	}
+	c.SetA(0, 0, 1)
+	if g.Equal(c) {
+		t.Fatal("mutating clone must not affect original equality")
+	}
+	if g.Equal(New(6, 1)) || g.Equal(New(7, 2)) {
+		t.Fatal("different shapes must not be equal")
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, tc := range []struct{ dim, dsize int }{{0, 1}, {-3, 0}, {4, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) should panic", tc.dim, tc.dsize)
+				}
+			}()
+			New(tc.dim, tc.dsize)
+		}()
+	}
+}

@@ -1,0 +1,14 @@
+package hw
+
+// LaunchDurationNs returns the full modeled duration of one kernel launch:
+// host launch overhead, SIMT compute (optionally inflated by GPU-tile
+// serialization) and intra-work-group barrier steps. It is the single
+// source of truth shared by the simulated OpenCL runtime and the analytic
+// estimator, so the two can never diverge.
+func (g GPUModel) LaunchDurationNs(cpu CPUModel, points int, tsize float64, dsize, syncSteps int, inflate float64) float64 {
+	if inflate <= 0 {
+		inflate = 1
+	}
+	return g.LaunchNs + g.KernelNs(points, tsize, cpu.PerIterNs, dsize)*inflate +
+		float64(syncSteps)*g.BarrierNs
+}

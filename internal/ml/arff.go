@@ -1,0 +1,118 @@
+package ml
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ARFF serialization: the paper built its models in WEKA ([9]), whose
+// native dataset format is ARFF. WriteARFF/ReadARFF let datasets distilled
+// by this library round-trip to that toolchain for cross-checking.
+
+// WriteARFF writes the dataset in ARFF format with numeric attributes;
+// the target attribute is named by target.
+func (d *Dataset) WriteARFF(w io.Writer, relation, target string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "@RELATION %s\n\n", sanitizeARFF(relation))
+	for _, n := range d.Names {
+		fmt.Fprintf(bw, "@ATTRIBUTE %s NUMERIC\n", sanitizeARFF(n))
+	}
+	fmt.Fprintf(bw, "@ATTRIBUTE %s NUMERIC\n\n@DATA\n", sanitizeARFF(target))
+	for i, row := range d.X {
+		for _, v := range row {
+			fmt.Fprintf(bw, "%s,", formatARFF(v))
+		}
+		fmt.Fprintf(bw, "%s\n", formatARFF(d.Y[i]))
+	}
+	return bw.Flush()
+}
+
+func sanitizeARFF(s string) string {
+	if s == "" {
+		return "unnamed"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '_', r == '-':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+func formatARFF(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ReadARFF parses a numeric-attribute ARFF stream written by WriteARFF
+// (or WEKA): the last attribute becomes the target.
+func ReadARFF(r io.Reader) (*Dataset, string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	var names []string
+	inData := false
+	var d *Dataset
+	target := ""
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "%") {
+			continue
+		}
+		lower := strings.ToLower(text)
+		switch {
+		case strings.HasPrefix(lower, "@relation"):
+			// Name not needed for the dataset itself.
+		case strings.HasPrefix(lower, "@attribute"):
+			if inData {
+				return nil, "", fmt.Errorf("ml: line %d: attribute after @DATA", line)
+			}
+			fields := strings.Fields(text)
+			if len(fields) < 3 {
+				return nil, "", fmt.Errorf("ml: line %d: malformed attribute", line)
+			}
+			if !strings.EqualFold(fields[2], "NUMERIC") && !strings.EqualFold(fields[2], "REAL") {
+				return nil, "", fmt.Errorf("ml: line %d: only numeric attributes supported, got %q",
+					line, fields[2])
+			}
+			names = append(names, fields[1])
+		case strings.HasPrefix(lower, "@data"):
+			if len(names) < 2 {
+				return nil, "", fmt.Errorf("ml: need at least one feature and one target")
+			}
+			target = names[len(names)-1]
+			d = NewDataset(names[:len(names)-1]...)
+			inData = true
+		default:
+			if !inData {
+				return nil, "", fmt.Errorf("ml: line %d: data before @DATA", line)
+			}
+			parts := strings.Split(text, ",")
+			if len(parts) != len(names) {
+				return nil, "", fmt.Errorf("ml: line %d: %d values, want %d", line, len(parts), len(names))
+			}
+			vals := make([]float64, len(parts))
+			for i, p := range parts {
+				v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+				if err != nil {
+					return nil, "", fmt.Errorf("ml: line %d: %v", line, err)
+				}
+				vals[i] = v
+			}
+			d.Add(vals[:len(vals)-1], vals[len(vals)-1])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, "", err
+	}
+	if d == nil {
+		return nil, "", fmt.Errorf("ml: no @DATA section")
+	}
+	return d, target, nil
+}

@@ -1,0 +1,85 @@
+package ml
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestARFFRoundTrip(t *testing.T) {
+	d := NewDataset("dim", "tsize", "dsize")
+	d.Add([]float64{500, 10, 1}, -1)
+	d.Add([]float64{2700, 12000, 5}, 1899)
+	d.Add([]float64{1100, 0.5, 0}, -1)
+
+	var buf bytes.Buffer
+	if err := d.WriteARFF(&buf, "wavefront-band", "band"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"@RELATION wavefront-band", "@ATTRIBUTE dim NUMERIC",
+		"@ATTRIBUTE band NUMERIC", "@DATA"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ARFF missing %q:\n%s", want, out)
+		}
+	}
+
+	back, target, err := ReadARFF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target != "band" {
+		t.Errorf("target = %q, want band", target)
+	}
+	if back.Len() != d.Len() || back.Features() != d.Features() {
+		t.Fatalf("shape changed: %v vs %v", back, d)
+	}
+	for i := range d.Y {
+		if back.Y[i] != d.Y[i] {
+			t.Errorf("row %d target %v != %v", i, back.Y[i], d.Y[i])
+		}
+		for j := range d.X[i] {
+			if back.X[i][j] != d.X[i][j] {
+				t.Errorf("row %d feature %d changed", i, j)
+			}
+		}
+	}
+}
+
+func TestARFFSanitizesNames(t *testing.T) {
+	d := NewDataset("cpu tile!")
+	d.Add([]float64{1}, 2)
+	var buf bytes.Buffer
+	if err := d.WriteARFF(&buf, "a b", "y"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cpu_tile_") {
+		t.Errorf("name not sanitized:\n%s", buf.String())
+	}
+}
+
+func TestReadARFFRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"@DATA\n1,2\n",
+		"@ATTRIBUTE x NUMERIC\n@DATA\n1\n", // single attribute
+		"@ATTRIBUTE x STRING\n@ATTRIBUTE y NUMERIC\n@DATA\n",       // non-numeric
+		"@ATTRIBUTE x NUMERIC\n@ATTRIBUTE y NUMERIC\n@DATA\n1\n",   // arity
+		"@ATTRIBUTE x NUMERIC\n@ATTRIBUTE y NUMERIC\n@DATA\na,b\n", // parse
+	} {
+		if _, _, err := ReadARFF(strings.NewReader(bad)); err == nil {
+			t.Errorf("accepted malformed ARFF: %q", bad)
+		}
+	}
+}
+
+func TestReadARFFSkipsComments(t *testing.T) {
+	src := "% comment\n@RELATION r\n@ATTRIBUTE a NUMERIC\n@ATTRIBUTE y NUMERIC\n\n@DATA\n% another\n1,2\n"
+	d, _, err := ReadARFF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 || d.Y[0] != 2 {
+		t.Error("comment handling broke parsing")
+	}
+}

@@ -1,0 +1,122 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KFold partitions [0, n) into k disjoint folds, shuffled by seed. Fold
+// sizes differ by at most one.
+func KFold(n, k int, seed int64) [][]int {
+	if k < 2 {
+		k = 2
+	}
+	if k > n {
+		k = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)
+	folds := make([][]int, k)
+	for i, idx := range perm {
+		folds[i%k] = append(folds[i%k], idx)
+	}
+	return folds
+}
+
+// CrossValidate runs k-fold cross-validation: fit is called with each
+// training split, and the returned models are scored on the held-out
+// folds. The aggregate metrics pool all held-out predictions — the
+// evaluation protocol of Section 3.1.2 ("cross-validation ... conducted on
+// instances omitted from the training set, to avoid overfitting").
+func CrossValidate(d *Dataset, k int, seed int64, fit func(train *Dataset) Model) (Metrics, error) {
+	n := d.Len()
+	if n < 2 {
+		return Metrics{}, fmt.Errorf("ml: cross-validation needs >= 2 examples, have %d", n)
+	}
+	folds := KFold(n, k, seed)
+	pooled := NewDataset(d.Names...)
+	var preds []float64
+	for f := range folds {
+		holdout := map[int]bool{}
+		for _, i := range folds[f] {
+			holdout[i] = true
+		}
+		var trainIdx []int
+		for i := 0; i < n; i++ {
+			if !holdout[i] {
+				trainIdx = append(trainIdx, i)
+			}
+		}
+		m := fit(d.Subset(trainIdx))
+		for _, i := range folds[f] {
+			pooled.Add(d.X[i], d.Y[i])
+			preds = append(preds, m.Predict(d.X[i]))
+		}
+	}
+	return evaluatePreds(preds, pooled), nil
+}
+
+// CrossValidateAccuracy is CrossValidate for the tolerance-accuracy
+// criterion: it returns the fraction of held-out predictions within
+// absTol + relTol*|y| of the target.
+func CrossValidateAccuracy(d *Dataset, k int, seed int64, absTol, relTol float64,
+	fit func(train *Dataset) Model) (float64, error) {
+	n := d.Len()
+	if n < 2 {
+		return 0, fmt.Errorf("ml: cross-validation needs >= 2 examples, have %d", n)
+	}
+	folds := KFold(n, k, seed)
+	hits, total := 0, 0
+	for f := range folds {
+		holdout := map[int]bool{}
+		for _, i := range folds[f] {
+			holdout[i] = true
+		}
+		var trainIdx []int
+		for i := 0; i < n; i++ {
+			if !holdout[i] {
+				trainIdx = append(trainIdx, i)
+			}
+		}
+		m := fit(d.Subset(trainIdx))
+		for _, i := range folds[f] {
+			limit := absTol + relTol*abs(d.Y[i])
+			if abs(m.Predict(d.X[i])-d.Y[i]) <= limit {
+				hits++
+			}
+			total++
+		}
+	}
+	return float64(hits) / float64(total), nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// evaluatePreds scores precomputed predictions against a dataset.
+func evaluatePreds(preds []float64, d *Dataset) Metrics {
+	n := d.Len()
+	if n == 0 {
+		return Metrics{}
+	}
+	mean := d.YMean()
+	var sae, sse, sst float64
+	for i := range preds {
+		e := preds[i] - d.Y[i]
+		sae += abs(e)
+		sse += e * e
+		sst += (d.Y[i] - mean) * (d.Y[i] - mean)
+	}
+	r2 := 0.0
+	if sst > 0 {
+		r2 = 1 - sse/sst
+	} else if sse == 0 {
+		r2 = 1
+	}
+	return Metrics{MAE: sae / float64(n), RMSE: math.Sqrt(sse / float64(n)), R2: r2, N: n}
+}

@@ -1,0 +1,165 @@
+// Package ml implements the machine-learning models the paper uses for
+// autotuning — M5 pruned model trees, REP trees, a binary linear SVM and
+// ridge linear regression — together with datasets, k-fold cross-validation
+// and regression/classification metrics. Everything is built on the
+// standard library only and is deterministic given a seed, so trained
+// tuners are exactly reproducible.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+)
+
+// Dataset is a design matrix with one numeric target.
+type Dataset struct {
+	// Names labels the feature columns (used when rendering models).
+	Names []string
+	X     [][]float64
+	Y     []float64
+}
+
+// NewDataset creates an empty dataset over the named features.
+func NewDataset(names ...string) *Dataset {
+	return &Dataset{Names: names}
+}
+
+// Add appends one example. The row is copied.
+func (d *Dataset) Add(x []float64, y float64) {
+	if len(x) != len(d.Names) {
+		panic(fmt.Sprintf("ml: row has %d features, dataset has %d", len(x), len(d.Names)))
+	}
+	d.X = append(d.X, append([]float64(nil), x...))
+	d.Y = append(d.Y, y)
+}
+
+// Len returns the number of examples.
+func (d *Dataset) Len() int { return len(d.Y) }
+
+// Features returns the number of feature columns.
+func (d *Dataset) Features() int { return len(d.Names) }
+
+// Subset returns a new dataset containing the rows at the given indices
+// (rows are shared, not copied).
+func (d *Dataset) Subset(idx []int) *Dataset {
+	s := &Dataset{Names: d.Names}
+	s.X = make([][]float64, 0, len(idx))
+	s.Y = make([]float64, 0, len(idx))
+	for _, i := range idx {
+		s.X = append(s.X, d.X[i])
+		s.Y = append(s.Y, d.Y[i])
+	}
+	return s
+}
+
+// Shuffle returns a permuted copy using the given seed.
+func (d *Dataset) Shuffle(seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(d.Len())
+	return d.Subset(idx)
+}
+
+// Split divides the dataset into a head of fraction frac and the
+// remainder, without shuffling.
+func (d *Dataset) Split(frac float64) (head, tail *Dataset) {
+	n := int(math.Round(frac * float64(d.Len())))
+	if n < 0 {
+		n = 0
+	}
+	if n > d.Len() {
+		n = d.Len()
+	}
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	return d.Subset(idx[:n]), d.Subset(idx[n:])
+}
+
+// YMean returns the mean target value.
+func (d *Dataset) YMean() float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, y := range d.Y {
+		s += y
+	}
+	return s / float64(d.Len())
+}
+
+// YStd returns the population standard deviation of the target.
+func (d *Dataset) YStd() float64 {
+	n := d.Len()
+	if n == 0 {
+		return 0
+	}
+	m := d.YMean()
+	s := 0.0
+	for _, y := range d.Y {
+		s += (y - m) * (y - m)
+	}
+	return math.Sqrt(s / float64(n))
+}
+
+// String summarizes the dataset shape.
+func (d *Dataset) String() string {
+	return fmt.Sprintf("dataset{%d x [%s]}", d.Len(), strings.Join(d.Names, ","))
+}
+
+// Model is any fitted regressor.
+type Model interface {
+	Predict(x []float64) float64
+}
+
+// Metrics aggregates regression quality measures.
+type Metrics struct {
+	MAE  float64 // mean absolute error
+	RMSE float64
+	R2   float64 // coefficient of determination vs the mean predictor
+	N    int
+}
+
+// Evaluate scores a model on a dataset.
+func Evaluate(m Model, d *Dataset) Metrics {
+	n := d.Len()
+	if n == 0 {
+		return Metrics{}
+	}
+	mean := d.YMean()
+	var sae, sse, sst float64
+	for i, x := range d.X {
+		p := m.Predict(x)
+		e := p - d.Y[i]
+		sae += math.Abs(e)
+		sse += e * e
+		sst += (d.Y[i] - mean) * (d.Y[i] - mean)
+	}
+	r2 := 0.0
+	if sst > 0 {
+		r2 = 1 - sse/sst
+	} else if sse == 0 {
+		r2 = 1
+	}
+	return Metrics{MAE: sae / float64(n), RMSE: math.Sqrt(sse / float64(n)), R2: r2, N: n}
+}
+
+// AccuracyWithin returns the fraction of predictions within tol of the
+// target, where tol is an absolute tolerance plus a relative fraction of
+// the target magnitude. It is the "at least 90% accurate" criterion of
+// Section 3.1.2 applied to regression targets.
+func AccuracyWithin(m Model, d *Dataset, absTol, relTol float64) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	hits := 0
+	for i, x := range d.X {
+		limit := absTol + relTol*math.Abs(d.Y[i])
+		if math.Abs(m.Predict(x)-d.Y[i]) <= limit {
+			hits++
+		}
+	}
+	return float64(hits) / float64(d.Len())
+}

@@ -1,0 +1,381 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// synthDataset builds n examples of a piecewise-linear function with
+// noise, the regime M5 trees are designed for.
+func synthDataset(n int, noise float64, seed int64) *Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := NewDataset("a", "b", "c")
+	for i := 0; i < n; i++ {
+		a := rng.Float64() * 10
+		b := rng.Float64() * 10
+		c := rng.Float64() * 10
+		var y float64
+		if a <= 5 {
+			y = 2*a + b - 3
+		} else {
+			y = -a + 4*c + 10
+		}
+		y += rng.NormFloat64() * noise
+		d.Add([]float64{a, b, c}, y)
+	}
+	return d
+}
+
+func TestDatasetBasics(t *testing.T) {
+	d := NewDataset("x")
+	d.Add([]float64{1}, 2)
+	d.Add([]float64{3}, 4)
+	if d.Len() != 2 || d.Features() != 1 {
+		t.Fatal("shape wrong")
+	}
+	if d.YMean() != 3 {
+		t.Errorf("YMean = %v, want 3", d.YMean())
+	}
+	if d.YStd() != 1 {
+		t.Errorf("YStd = %v, want 1", d.YStd())
+	}
+	s := d.Subset([]int{1})
+	if s.Len() != 1 || s.Y[0] != 4 {
+		t.Error("subset wrong")
+	}
+	h, tl := d.Split(0.5)
+	if h.Len() != 1 || tl.Len() != 1 {
+		t.Error("split wrong")
+	}
+}
+
+func TestDatasetAddPanicsOnBadRow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewDataset("x", "y").Add([]float64{1}, 0)
+}
+
+func TestShuffleDeterministic(t *testing.T) {
+	d := synthDataset(50, 0, 7)
+	a := d.Shuffle(42)
+	b := d.Shuffle(42)
+	for i := range a.Y {
+		if a.Y[i] != b.Y[i] {
+			t.Fatal("shuffle not deterministic")
+		}
+	}
+}
+
+func TestLinearExactRecovery(t *testing.T) {
+	// Noise-free linear data must be recovered nearly exactly.
+	rng := rand.New(rand.NewSource(3))
+	d := NewDataset("u", "v")
+	for i := 0; i < 200; i++ {
+		u, v := rng.Float64()*5, rng.Float64()*5
+		d.Add([]float64{u, v}, 3*u-2*v+7)
+	}
+	m := FitLinear(d, 1e-9)
+	if math.Abs(m.W[0]-3) > 1e-6 || math.Abs(m.W[1]+2) > 1e-6 || math.Abs(m.B-7) > 1e-6 {
+		t.Errorf("recovered %v + %v, want [3 -2] + 7", m.W, m.B)
+	}
+	met := Evaluate(m, d)
+	if met.R2 < 0.999999 {
+		t.Errorf("R2 = %v, want ~1", met.R2)
+	}
+}
+
+func TestLinearHandlesDegenerate(t *testing.T) {
+	// Constant feature: ridge keeps the system solvable.
+	d := NewDataset("x")
+	for i := 0; i < 10; i++ {
+		d.Add([]float64{2}, 5)
+	}
+	m := FitLinear(d, 1e-3)
+	if p := m.Predict([]float64{2}); math.Abs(p-5) > 0.1 {
+		t.Errorf("degenerate prediction %v, want ~5", p)
+	}
+	// Empty dataset: zero model.
+	if FitLinear(NewDataset("x"), 1).Predict([]float64{1}) != 0 {
+		t.Error("empty fit must predict 0")
+	}
+}
+
+func TestLinearString(t *testing.T) {
+	m := &Linear{Names: []string{"tsize", "dsize"}, W: []float64{0, -0.1598}, B: -0.381}
+	s := m.String()
+	if s != "-0.1598*dsize - 0.381" {
+		t.Errorf("String = %q", s)
+	}
+	// Zero weights entirely.
+	z := &Linear{Names: []string{"x"}, W: []float64{0}, B: 2}
+	if z.String() != "2" {
+		t.Errorf("String = %q, want \"2\"", z.String())
+	}
+}
+
+func TestM5FitsPiecewiseLinear(t *testing.T) {
+	// A piecewise-linear target is the M5 sweet spot: the tree should
+	// split near a=5 and fit each side closely.
+	train := synthDataset(600, 0.05, 11)
+	test := synthDataset(200, 0.05, 12)
+	m := FitM5(train, DefaultM5Options())
+	met := Evaluate(m, test)
+	if met.R2 < 0.95 {
+		t.Errorf("M5 R2 = %v, want >= 0.95", met.R2)
+	}
+	if m.Leaves() < 2 {
+		t.Error("tree must split at least once")
+	}
+}
+
+func TestM5BeatsPlainLinearOnPiecewise(t *testing.T) {
+	train := synthDataset(600, 0.05, 21)
+	test := synthDataset(200, 0.05, 22)
+	m5 := FitM5(train, DefaultM5Options())
+	lin := FitLinear(train, 1e-6)
+	if Evaluate(m5, test).RMSE >= Evaluate(lin, test).RMSE {
+		t.Error("M5 must beat a single linear model on piecewise data " +
+			"(the paper found plain regression lacking)")
+	}
+}
+
+func TestM5PruningShrinksTree(t *testing.T) {
+	// Pure noise: pruning should collapse (nearly) everything.
+	rng := rand.New(rand.NewSource(5))
+	d := NewDataset("x")
+	for i := 0; i < 300; i++ {
+		d.Add([]float64{rng.Float64()}, rng.NormFloat64())
+	}
+	m := FitM5(d, DefaultM5Options())
+	if m.Leaves() > 8 {
+		t.Errorf("noise tree kept %d leaves; pruning too weak", m.Leaves())
+	}
+}
+
+func TestM5DeterministicAndRenders(t *testing.T) {
+	d := synthDataset(300, 0.1, 31)
+	a := FitM5(d, DefaultM5Options())
+	b := FitM5(d, DefaultM5Options())
+	probe := []float64{4, 2, 8}
+	if a.Predict(probe) != b.Predict(probe) {
+		t.Error("M5 fit not deterministic")
+	}
+	r := a.Render("halo")
+	if len(r) == 0 || a.Depth() < 1 {
+		t.Error("render/depth broken")
+	}
+}
+
+func TestM5SmoothingBounded(t *testing.T) {
+	// Smoothed predictions must stay within the convex hull of node model
+	// predictions; sanity-check against explosion.
+	d := synthDataset(400, 0.1, 41)
+	m := FitM5(d, DefaultM5Options())
+	f := func(ra, rb, rc uint8) bool {
+		x := []float64{float64(ra) / 25.5, float64(rb) / 25.5, float64(rc) / 25.5}
+		p := m.Predict(x)
+		return !math.IsNaN(p) && math.Abs(p) < 1e4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestREPTreeFitsStep(t *testing.T) {
+	// A step function is the REP tree sweet spot.
+	rng := rand.New(rand.NewSource(9))
+	train := NewDataset("x", "z")
+	for i := 0; i < 400; i++ {
+		x, z := rng.Float64()*10, rng.Float64()
+		y := 0.0
+		if x > 6 {
+			y = 1
+		}
+		train.Add([]float64{x, z}, y)
+	}
+	m := FitREP(train, DefaultREPOptions())
+	errs := 0
+	for i := 0; i < 100; i++ {
+		x, z := rng.Float64()*10, rng.Float64()
+		want := x > 6
+		if m.Classify([]float64{x, z}) != want {
+			errs++
+		}
+	}
+	if errs > 5 {
+		t.Errorf("REP tree misclassified %d/100 on a clean step", errs)
+	}
+}
+
+func TestREPPruningControlsNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	d := NewDataset("x")
+	for i := 0; i < 400; i++ {
+		d.Add([]float64{rng.Float64()}, rng.NormFloat64())
+	}
+	m := FitREP(d, DefaultREPOptions())
+	if m.Leaves() > 25 {
+		t.Errorf("noise REP tree kept %d leaves", m.Leaves())
+	}
+}
+
+func TestREPRender(t *testing.T) {
+	d := synthDataset(100, 0.1, 15)
+	if FitREP(d, DefaultREPOptions()).Render() == "" {
+		t.Error("empty render")
+	}
+}
+
+func TestSVMSeparable(t *testing.T) {
+	// Linearly separable classes must be classified near-perfectly.
+	rng := rand.New(rand.NewSource(17))
+	d := NewDataset("x", "y")
+	for i := 0; i < 400; i++ {
+		x, y := rng.NormFloat64(), rng.NormFloat64()
+		label := -1.0
+		if x+y > 0.5 {
+			label = 1
+		}
+		d.Add([]float64{x, y}, label)
+	}
+	m, err := FitSVM(d, DefaultSVMOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := m.Accuracy(d); acc < 0.97 {
+		t.Errorf("separable accuracy = %v, want >= 0.97", acc)
+	}
+}
+
+func TestSVMRejectsBadLabels(t *testing.T) {
+	d := NewDataset("x")
+	d.Add([]float64{1}, 0.5)
+	if _, err := FitSVM(d, DefaultSVMOptions()); err == nil {
+		t.Error("non-binary labels must be rejected")
+	}
+	if _, err := FitSVM(NewDataset("x"), DefaultSVMOptions()); err == nil {
+		t.Error("empty training set must be rejected")
+	}
+}
+
+func TestSVMDeterministic(t *testing.T) {
+	d := synthDataset(100, 0, 19)
+	bin := NewDataset(d.Names...)
+	for i := range d.Y {
+		l := -1.0
+		if d.Y[i] > d.YMean() {
+			l = 1
+		}
+		bin.Add(d.X[i], l)
+	}
+	a, _ := FitSVM(bin, DefaultSVMOptions())
+	b, _ := FitSVM(bin, DefaultSVMOptions())
+	for j := range a.W {
+		if a.W[j] != b.W[j] {
+			t.Fatal("SVM training not deterministic")
+		}
+	}
+}
+
+func TestKFoldPartition(t *testing.T) {
+	folds := KFold(17, 5, 3)
+	if len(folds) != 5 {
+		t.Fatalf("want 5 folds, got %d", len(folds))
+	}
+	seen := map[int]bool{}
+	for _, f := range folds {
+		for _, i := range f {
+			if seen[i] {
+				t.Fatalf("index %d in two folds", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != 17 {
+		t.Fatalf("covered %d indices, want 17", len(seen))
+	}
+}
+
+func TestCrossValidateCatchesOverfit(t *testing.T) {
+	// A 1-nearest-memorizer looks perfect on training data; CV must not.
+	d := synthDataset(120, 1.0, 23)
+	cvM5, err := CrossValidate(d, 5, 1, func(train *Dataset) Model {
+		return FitM5(train, DefaultM5Options())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cvM5.N != d.Len() {
+		t.Errorf("CV pooled %d predictions, want %d", cvM5.N, d.Len())
+	}
+	// With noise sd=1, held-out RMSE cannot be far below 1.
+	if cvM5.RMSE < 0.5 {
+		t.Errorf("CV RMSE %v implausibly low; leakage?", cvM5.RMSE)
+	}
+}
+
+func TestCrossValidateAccuracyGate(t *testing.T) {
+	// Near-noise-free piecewise data must pass the paper's 90% gate.
+	d := synthDataset(400, 0.01, 29)
+	acc, err := CrossValidateAccuracy(d, 5, 1, 0.5, 0.1, func(train *Dataset) Model {
+		return FitM5(train, DefaultM5Options())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("CV accuracy %v below the 90%% gate", acc)
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	d := NewDataset("x")
+	d.Add([]float64{1}, 1)
+	if _, err := CrossValidate(d, 5, 1, nil); err == nil {
+		t.Error("CV on 1 example must fail")
+	}
+}
+
+func TestAccuracyWithin(t *testing.T) {
+	d := NewDataset("x")
+	d.Add([]float64{0}, 10)
+	d.Add([]float64{0}, 20)
+	m := &Linear{Names: []string{"x"}, W: []float64{0}, B: 11}
+	// |11-10|=1 <= 2 abs tol -> hit; |11-20|=9 > 2 -> miss.
+	if got := AccuracyWithin(m, d, 2, 0); got != 0.5 {
+		t.Errorf("AccuracyWithin = %v, want 0.5", got)
+	}
+}
+
+func TestEvaluatePerfectModel(t *testing.T) {
+	d := synthDataset(50, 0, 33)
+	perfect := modelExact{d}
+	met := Evaluate(perfect, d)
+	if met.MAE != 0 || met.RMSE != 0 || met.R2 != 1 {
+		t.Errorf("perfect model metrics wrong: %+v", met)
+	}
+}
+
+// modelExact replays the dataset targets by matching rows.
+type modelExact struct{ d *Dataset }
+
+func (m modelExact) Predict(x []float64) float64 {
+	for i, row := range m.d.X {
+		same := true
+		for j := range row {
+			if row[j] != x[j] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return m.d.Y[i]
+		}
+	}
+	return 0
+}

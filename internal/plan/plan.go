@@ -1,0 +1,330 @@
+// Package plan turns an application instance and a setting of the paper's
+// five tunable parameters (Table 2) into a validated three-phase execution
+// plan: a leading CPU-tiled triangle, an offloaded band of diagonals on one
+// or two GPUs, and a trailing CPU-tiled triangle (Section 2, Figure 2).
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// Instance is one wavefront problem instance, described by the paper's
+// input parameters (Table 1).
+type Instance struct {
+	// Dim is the side length of the (square) array.
+	Dim int
+	// TSize is the task granularity in synthetic-kernel iterations.
+	TSize float64
+	// DSize is the per-element float count (element bytes = 8 + 8*dsize).
+	DSize int
+}
+
+// ElemBytes returns the modeled element size of the instance.
+func (in Instance) ElemBytes() int { return grid.ElemBytes(in.DSize) }
+
+// Validate reports whether the instance is well-formed.
+func (in Instance) Validate() error {
+	if in.Dim < 1 {
+		return fmt.Errorf("plan: dim %d < 1", in.Dim)
+	}
+	if !(in.TSize > 0) {
+		return fmt.Errorf("plan: tsize %v must be positive", in.TSize)
+	}
+	if in.DSize < 0 {
+		return fmt.Errorf("plan: dsize %d < 0", in.DSize)
+	}
+	return nil
+}
+
+// String implements fmt.Stringer.
+func (in Instance) String() string {
+	return fmt.Sprintf("dim=%d tsize=%g dsize=%d", in.Dim, in.TSize, in.DSize)
+}
+
+// Params is a setting of the paper's tunable parameters (Table 2). As in
+// the paper, gpu-count is overloaded onto Band and Halo: Band = -1 means
+// the GPU is not used at all; Halo = -1 means a single GPU; Halo >= 0
+// means two GPUs exchanging halos of that size.
+type Params struct {
+	// CPUTile is the side length of the square CPU tiles.
+	CPUTile int
+	// Band is the number of diagonals on each side of the main diagonal
+	// offloaded to the GPU(s); 2*Band+1 diagonals in total. -1 disables
+	// the GPU phase entirely.
+	Band int
+	// GPUTile is the GPU work-group tiling factor (1 = untiled).
+	GPUTile int
+	// Halo is the overlap between the two GPUs' partitions; -1 selects a
+	// single GPU.
+	Halo int
+}
+
+// GPUCount decodes the overloaded gpu-count: 0, 1 or 2.
+func (p Params) GPUCount() int {
+	switch {
+	case p.Band < 0:
+		return 0
+	case p.Halo < 0:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// String implements fmt.Stringer.
+func (p Params) String() string {
+	return fmt.Sprintf("cpu-tile=%d band=%d gpu-count=%d gpu-tile=%d halo=%d",
+		p.CPUTile, p.Band, p.GPUCount(), p.GPUTile, p.Halo)
+}
+
+// Normalize returns p with the GPU-phase parameters canonicalized: when
+// the GPU is unused, gpu-tile and halo are forced to their neutral values
+// so that equivalent configurations compare equal and the search space
+// contains no duplicate all-CPU points.
+func (p Params) Normalize() Params {
+	if p.Band < 0 {
+		p.Band = -1
+		p.GPUTile = 1
+		p.Halo = -1
+	}
+	if p.GPUTile < 1 {
+		p.GPUTile = 1
+	}
+	return p
+}
+
+// Plan is a validated three-phase decomposition. Diagonal ranges are
+// inclusive; a range with Lo > Hi is empty.
+type Plan struct {
+	Inst Instance
+	Par  Params
+
+	// P1Lo..P1Hi are phase 1's diagonals (leading CPU triangle).
+	P1Lo, P1Hi int
+	// GLo..GHi are phase 2's offloaded diagonals.
+	GLo, GHi int
+	// P3Lo..P3Hi are phase 3's diagonals (trailing CPU triangle).
+	P3Lo, P3Hi int
+}
+
+// Build validates inst and par and constructs the three-phase plan.
+func Build(inst Instance, par Params) (*Plan, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	if par.CPUTile < 1 {
+		return nil, fmt.Errorf("plan: cpu-tile %d < 1", par.CPUTile)
+	}
+	if par.CPUTile > inst.Dim {
+		return nil, fmt.Errorf("plan: cpu-tile %d exceeds dim %d", par.CPUTile, inst.Dim)
+	}
+	maxBand := 2*inst.Dim - 1
+	if par.Band < -1 || par.Band > maxBand {
+		return nil, fmt.Errorf("plan: band %d outside [-1,%d]", par.Band, maxBand)
+	}
+	if par.GPUTile < 1 || par.GPUTile > 64 {
+		return nil, fmt.Errorf("plan: gpu-tile %d outside [1,64]", par.GPUTile)
+	}
+	par = par.Normalize()
+
+	d := grid.NumDiags(inst.Dim)
+	pl := &Plan{Inst: inst, Par: par}
+	if par.Band < 0 {
+		// All-CPU: one CPU phase covering everything; GPU and phase 3 empty.
+		pl.P1Lo, pl.P1Hi = 0, d-1
+		pl.GLo, pl.GHi = 1, 0
+		pl.P3Lo, pl.P3Hi = 1, 0
+		return pl, nil
+	}
+
+	mid := inst.Dim - 1
+	lo, hi := mid-par.Band, mid+par.Band
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > d-1 {
+		hi = d - 1
+	}
+	pl.GLo, pl.GHi = lo, hi
+	pl.P1Lo, pl.P1Hi = 0, lo-1
+	pl.P3Lo, pl.P3Hi = hi+1, d-1
+
+	if par.Halo >= 0 {
+		if max := pl.MaxHalo(); par.Halo > max {
+			return nil, fmt.Errorf("plan: halo %d exceeds max %d (half of first offloaded diagonal)",
+				par.Halo, max)
+		}
+	} else if par.Halo < -1 {
+		return nil, fmt.Errorf("plan: halo %d < -1", par.Halo)
+	}
+	return pl, nil
+}
+
+// MaxHalo returns the largest permitted halo for this plan: half the
+// length of the first offloaded diagonal (Table 3), or -1 when the GPU is
+// unused.
+func (p *Plan) MaxHalo() int {
+	if p.Par.Band < 0 {
+		return -1
+	}
+	return grid.DiagLen(p.Inst.Dim, p.GLo) / 2
+}
+
+// MaxHaloFor computes the halo cap for an instance and band without
+// building a plan; it returns -1 when band < 0.
+func MaxHaloFor(inst Instance, band int) int {
+	if band < 0 {
+		return -1
+	}
+	mid := inst.Dim - 1
+	lo := mid - band
+	if lo < 0 {
+		lo = 0
+	}
+	return grid.DiagLen(inst.Dim, lo) / 2
+}
+
+// GPUDiags returns the number of offloaded diagonals (0 when the GPU is
+// unused).
+func (p *Plan) GPUDiags() int {
+	if p.GHi < p.GLo {
+		return 0
+	}
+	return p.GHi - p.GLo + 1
+}
+
+// GPUCells returns the number of cells in the offloaded band.
+func (p *Plan) GPUCells() int {
+	return grid.CellsInDiagRange(p.Inst.Dim, p.GLo, p.GHi)
+}
+
+// CPUCells returns the number of cells in the two CPU phases.
+func (p *Plan) CPUCells() int {
+	return p.Inst.Dim*p.Inst.Dim - p.GPUCells()
+}
+
+// SwapPeriod returns the number of diagonals between halo exchanges when
+// two GPUs are used: the halo size, with a minimum of one (a halo of zero
+// still requires boundary data after every diagonal).
+func (p *Plan) SwapPeriod() int {
+	if p.Par.Halo < 1 {
+		return 1
+	}
+	return p.Par.Halo
+}
+
+// NumSwaps returns the number of halo exchanges of the plan: one after
+// every full period, except that no swap follows the final diagonal group.
+func (p *Plan) NumSwaps() int {
+	if p.Par.GPUCount() != 2 || p.GPUDiags() == 0 {
+		return 0
+	}
+	periods := (p.GPUDiags() + p.SwapPeriod() - 1) / p.SwapPeriod()
+	return periods - 1
+}
+
+// RedundantPoints returns the modeled number of extra cell computations
+// caused by the overlap between the two GPUs: after each swap the overlap
+// starts at halo and shrinks by one per diagonal, so each period
+// recomputes about halo*(halo+1)/2 cells on each device (Section 2.1's
+// communication/recomputation trade-off).
+func (p *Plan) RedundantPoints() int {
+	if p.Par.GPUCount() != 2 || p.Par.Halo <= 0 {
+		return 0
+	}
+	h := p.Par.Halo
+	periods := (p.GPUDiags() + p.SwapPeriod() - 1) / p.SwapPeriod()
+	return periods * h * (h + 1) / 2 * 2
+}
+
+// AllGPU reports whether the plan offloads every diagonal (null CPU
+// phases, Section 2's "computation carried out entirely within the GPU").
+func (p *Plan) AllGPU() bool {
+	return p.Par.Band >= 0 && p.GLo == 0 && p.GHi == grid.NumDiags(p.Inst.Dim)-1
+}
+
+// Partition describes one device's share of an offloaded diagonal.
+type Partition struct {
+	// Start and End delimit the half-open cell index range [Start, End)
+	// within the diagonal, including any redundantly computed overlap.
+	Start, End int
+}
+
+// Len returns the number of cells in the partition.
+func (pt Partition) Len() int {
+	if pt.End <= pt.Start {
+		return 0
+	}
+	return pt.End - pt.Start
+}
+
+// PartitionDiag splits a diagonal of length l between nGPU devices with
+// the given current overlap (the halo remaining before the next swap).
+// Device 0 takes the low indices. The union of the partitions always
+// covers [0, l).
+func PartitionDiag(l, nGPU, overlap int) []Partition {
+	if nGPU <= 1 {
+		return []Partition{{0, l}}
+	}
+	half := l / 2
+	p0 := Partition{0, min(l, half+overlap)}
+	p1 := Partition{max(0, half-overlap), l}
+	return []Partition{p0, p1}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TileDiag describes one tile-diagonal of a CPU phase: NTiles tiles that
+// can run in parallel, jointly covering Cells cells of the phase region.
+type TileDiag struct {
+	NTiles int
+	Cells  int
+}
+
+// CPUTileDiags enumerates the tile-diagonals of the CPU phase covering
+// cell-diagonals [lo, hi] with square tiles of side ct. Tile-diagonal t
+// groups the cells whose diagonal index lies in [t*ct, (t+1)*ct-1] — these
+// spans partition the diagonal space, so the Cells fields sum exactly to
+// the region size. NTiles is the width of the tile wavefront at t, which
+// bounds the parallelism available to the executor.
+func CPUTileDiags(dim, ct, lo, hi int) []TileDiag {
+	if hi < lo {
+		return nil
+	}
+	nT := (dim + ct - 1) / ct
+	tLo, tHi := lo/ct, hi/ct
+	out := make([]TileDiag, 0, tHi-tLo+1)
+	for t := tLo; t <= tHi; t++ {
+		cLo, cHi := t*ct, (t+1)*ct-1
+		if cLo < lo {
+			cLo = lo
+		}
+		if cHi > hi {
+			cHi = hi
+		}
+		cells := grid.CellsInDiagRange(dim, cLo, cHi)
+		if cells == 0 {
+			continue
+		}
+		n := min(min(t+1, 2*nT-1-t), nT)
+		if n < 1 {
+			n = 1
+		}
+		out = append(out, TileDiag{NTiles: n, Cells: cells})
+	}
+	return out
+}

@@ -1,0 +1,274 @@
+package plan
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grid"
+)
+
+func mustBuild(t *testing.T, inst Instance, par Params) *Plan {
+	t.Helper()
+	p, err := Build(inst, par)
+	if err != nil {
+		t.Fatalf("Build(%v, %v): %v", inst, par, err)
+	}
+	return p
+}
+
+func TestGPUCountEncoding(t *testing.T) {
+	// The paper overloads band and halo to encode gpu-count.
+	for _, tc := range []struct {
+		band, halo, want int
+	}{
+		{-1, -1, 0}, {5, -1, 1}, {5, 0, 2}, {5, 3, 2},
+	} {
+		p := Params{CPUTile: 4, Band: tc.band, GPUTile: 1, Halo: tc.halo}
+		if got := p.GPUCount(); got != tc.want {
+			t.Errorf("band=%d halo=%d: gpu-count=%d, want %d", tc.band, tc.halo, got, tc.want)
+		}
+	}
+}
+
+func TestNormalizeCollapsesAllCPUConfigs(t *testing.T) {
+	a := Params{CPUTile: 4, Band: -1, GPUTile: 8, Halo: 7}.Normalize()
+	b := Params{CPUTile: 4, Band: -1, GPUTile: 1, Halo: -1}.Normalize()
+	if a != b {
+		t.Errorf("all-CPU configs must normalize identically: %v vs %v", a, b)
+	}
+}
+
+func TestThreePhasePartition(t *testing.T) {
+	// Figure 2's 20x20 grid: CPU tiles of 4, a GPU band in the middle.
+	inst := Instance{Dim: 20, TSize: 10, DSize: 1}
+	p := mustBuild(t, inst, Params{CPUTile: 4, Band: 5, GPUTile: 1, Halo: -1})
+	if p.GLo != 14 || p.GHi != 24 {
+		t.Errorf("band [%d,%d], want [14,24]", p.GLo, p.GHi)
+	}
+	if p.P1Hi != 13 || p.P3Lo != 25 {
+		t.Errorf("CPU phases wrong: p1 ends %d, p3 starts %d", p.P1Hi, p.P3Lo)
+	}
+	if p.GPUDiags() != 11 {
+		t.Errorf("GPUDiags = %d, want 2*5+1 = 11", p.GPUDiags())
+	}
+}
+
+func TestPhasesPartitionAllCells(t *testing.T) {
+	// Property: for any valid configuration, the three phases cover every
+	// cell exactly once.
+	f := func(rawDim, rawBand, rawTile uint8) bool {
+		dim := int(rawDim)%200 + 2
+		band := int(rawBand)%(2*dim+1) - 1
+		ct := int(rawTile)%dim + 1
+		inst := Instance{Dim: dim, TSize: 5, DSize: 1}
+		p, err := Build(inst, Params{CPUTile: ct, Band: band, GPUTile: 1, Halo: -1})
+		if err != nil {
+			return false
+		}
+		cpu1 := grid.CellsInDiagRange(dim, p.P1Lo, p.P1Hi)
+		gpu := p.GPUCells()
+		cpu3 := grid.CellsInDiagRange(dim, p.P3Lo, p.P3Hi)
+		return cpu1+gpu+cpu3 == dim*dim && p.CPUCells() == cpu1+cpu3
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBandMinusOneIsAllCPU(t *testing.T) {
+	inst := Instance{Dim: 50, TSize: 10, DSize: 1}
+	p := mustBuild(t, inst, Params{CPUTile: 8, Band: -1, GPUTile: 1, Halo: -1})
+	if p.GPUDiags() != 0 || p.GPUCells() != 0 {
+		t.Error("band=-1 must offload nothing")
+	}
+	if p.CPUCells() != 2500 {
+		t.Errorf("CPU cells = %d, want 2500", p.CPUCells())
+	}
+	if p.AllGPU() {
+		t.Error("all-CPU plan reported as all-GPU")
+	}
+}
+
+func TestFullBandIsAllGPU(t *testing.T) {
+	inst := Instance{Dim: 50, TSize: 10, DSize: 1}
+	// Band >= dim-1 covers every diagonal (the paper's null phase 1/3).
+	p := mustBuild(t, inst, Params{CPUTile: 1, Band: 49, GPUTile: 1, Halo: -1})
+	if !p.AllGPU() {
+		t.Error("band=dim-1 must offload everything")
+	}
+	if p.GPUCells() != 2500 || p.CPUCells() != 0 {
+		t.Errorf("gpu=%d cpu=%d, want 2500/0", p.GPUCells(), p.CPUCells())
+	}
+	// Band beyond dim-1 (allowed up to 2*dim-1 in Table 3) clamps.
+	p2 := mustBuild(t, inst, Params{CPUTile: 1, Band: 99, GPUTile: 1, Halo: -1})
+	if !p2.AllGPU() {
+		t.Error("oversized band must clamp to all-GPU")
+	}
+}
+
+func TestBuildRejectsInvalid(t *testing.T) {
+	inst := Instance{Dim: 100, TSize: 10, DSize: 1}
+	for _, par := range []Params{
+		{CPUTile: 0, Band: -1, GPUTile: 1, Halo: -1},
+		{CPUTile: 101, Band: -1, GPUTile: 1, Halo: -1},
+		{CPUTile: 4, Band: 200, GPUTile: 1, Halo: -1},
+		{CPUTile: 4, Band: -2, GPUTile: 1, Halo: -1},
+		{CPUTile: 4, Band: 5, GPUTile: 0, Halo: -1},
+		{CPUTile: 4, Band: 5, GPUTile: 1, Halo: 1000},
+		{CPUTile: 4, Band: 5, GPUTile: 1, Halo: -3},
+	} {
+		if _, err := Build(inst, par); err == nil {
+			t.Errorf("Build accepted invalid %v", par)
+		}
+	}
+	if _, err := Build(Instance{Dim: 0, TSize: 1}, Params{CPUTile: 1, Band: -1, Halo: -1}); err == nil {
+		t.Error("Build accepted dim=0")
+	}
+	if _, err := Build(Instance{Dim: 5, TSize: 0}, Params{CPUTile: 1, Band: -1, Halo: -1}); err == nil {
+		t.Error("Build accepted tsize=0")
+	}
+}
+
+func TestMaxHalo(t *testing.T) {
+	inst := Instance{Dim: 100, TSize: 10, DSize: 1}
+	// Band 10: first offloaded diagonal is 89, length 90 -> max halo 45.
+	p := mustBuild(t, inst, Params{CPUTile: 4, Band: 10, GPUTile: 1, Halo: -1})
+	if got := p.MaxHalo(); got != 45 {
+		t.Errorf("MaxHalo = %d, want 45", got)
+	}
+	if got := MaxHaloFor(inst, 10); got != 45 {
+		t.Errorf("MaxHaloFor = %d, want 45", got)
+	}
+	if got := MaxHaloFor(inst, -1); got != -1 {
+		t.Errorf("MaxHaloFor(band=-1) = %d, want -1", got)
+	}
+	// A valid halo at the cap must build.
+	mustBuild(t, inst, Params{CPUTile: 4, Band: 10, GPUTile: 1, Halo: 45})
+}
+
+func TestSwapSchedule(t *testing.T) {
+	inst := Instance{Dim: 100, TSize: 10, DSize: 1}
+	// 21 offloaded diagonals, halo 5 -> ceil(21/5)=5 periods, 4 swaps.
+	p := mustBuild(t, inst, Params{CPUTile: 4, Band: 10, GPUTile: 1, Halo: 5})
+	if p.SwapPeriod() != 5 {
+		t.Errorf("SwapPeriod = %d, want 5", p.SwapPeriod())
+	}
+	if p.NumSwaps() != 4 {
+		t.Errorf("NumSwaps = %d, want 4", p.NumSwaps())
+	}
+	// Halo 0 still swaps every diagonal.
+	p0 := mustBuild(t, inst, Params{CPUTile: 4, Band: 10, GPUTile: 1, Halo: 0})
+	if p0.SwapPeriod() != 1 || p0.NumSwaps() != 20 {
+		t.Errorf("halo=0: period=%d swaps=%d, want 1/20", p0.SwapPeriod(), p0.NumSwaps())
+	}
+	// Single GPU never swaps.
+	p1 := mustBuild(t, inst, Params{CPUTile: 4, Band: 10, GPUTile: 1, Halo: -1})
+	if p1.NumSwaps() != 0 {
+		t.Error("single GPU must not swap")
+	}
+}
+
+func TestRedundantPointsTradeoff(t *testing.T) {
+	inst := Instance{Dim: 200, TSize: 10, DSize: 1}
+	// Larger halos mean fewer swaps but more redundant computation.
+	small := mustBuild(t, inst, Params{CPUTile: 4, Band: 50, GPUTile: 1, Halo: 2})
+	big := mustBuild(t, inst, Params{CPUTile: 4, Band: 50, GPUTile: 1, Halo: 20})
+	if small.NumSwaps() <= big.NumSwaps() {
+		t.Error("smaller halo must swap more often")
+	}
+	if small.RedundantPoints() >= big.RedundantPoints() {
+		t.Error("larger halo must recompute more")
+	}
+	if mustBuild(t, inst, Params{CPUTile: 4, Band: 50, GPUTile: 1, Halo: -1}).RedundantPoints() != 0 {
+		t.Error("single GPU has no redundant computation")
+	}
+}
+
+func TestPartitionDiagCoversAll(t *testing.T) {
+	f := func(rawL, rawOv uint8) bool {
+		l := int(rawL)%300 + 1
+		ov := int(rawOv) % (l/2 + 1)
+		parts := PartitionDiag(l, 2, ov)
+		if len(parts) != 2 {
+			return false
+		}
+		// Union must cover [0, l): p0 starts at 0, p1 ends at l, and they
+		// meet or overlap.
+		return parts[0].Start == 0 && parts[1].End == l && parts[0].End >= parts[1].Start
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPartitionDiagSingle(t *testing.T) {
+	parts := PartitionDiag(100, 1, 0)
+	if len(parts) != 1 || parts[0].Len() != 100 {
+		t.Errorf("single-device partition wrong: %v", parts)
+	}
+}
+
+func TestPartitionOverlapSize(t *testing.T) {
+	parts := PartitionDiag(100, 2, 7)
+	// Overlap region is [50-7, 50+7) = 14 cells.
+	overlap := parts[0].End - parts[1].Start
+	if overlap != 14 {
+		t.Errorf("overlap = %d, want 14", overlap)
+	}
+}
+
+func TestCPUTileDiagsConserveCells(t *testing.T) {
+	// Property: tile-diagonal cell counts sum exactly to the region size.
+	f := func(rawDim, rawCt, rawLo, rawHi uint8) bool {
+		dim := int(rawDim)%150 + 1
+		ct := int(rawCt)%dim + 1
+		nd := grid.NumDiags(dim)
+		lo := int(rawLo) % nd
+		hi := int(rawHi) % nd
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		sum := 0
+		for _, td := range CPUTileDiags(dim, ct, lo, hi) {
+			if td.NTiles < 1 {
+				return false
+			}
+			sum += td.Cells
+		}
+		return sum == grid.CellsInDiagRange(dim, lo, hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCPUTileDiagsEmptyRegion(t *testing.T) {
+	if got := CPUTileDiags(100, 4, 5, 4); got != nil {
+		t.Errorf("empty region must yield nil, got %v", got)
+	}
+}
+
+func TestCPUTileDiagsUntiled(t *testing.T) {
+	// ct=1: one tile-diagonal per cell-diagonal, NTiles = diagonal length.
+	dim := 10
+	tds := CPUTileDiags(dim, 1, 0, grid.NumDiags(dim)-1)
+	if len(tds) != grid.NumDiags(dim) {
+		t.Fatalf("got %d tile-diagonals, want %d", len(tds), grid.NumDiags(dim))
+	}
+	for i, td := range tds {
+		if td.NTiles != grid.DiagLen(dim, i) || td.Cells != grid.DiagLen(dim, i) {
+			t.Fatalf("tile-diag %d = %+v, want NTiles=Cells=%d", i, td, grid.DiagLen(dim, i))
+		}
+	}
+}
+
+func TestInstanceString(t *testing.T) {
+	s := Instance{Dim: 500, TSize: 0.5, DSize: 0}.String()
+	if s != "dim=500 tsize=0.5 dsize=0" {
+		t.Errorf("String = %q", s)
+	}
+	ps := Params{CPUTile: 4, Band: 9, GPUTile: 2, Halo: 3}.String()
+	if ps != "cpu-tile=4 band=9 gpu-count=2 gpu-tile=2 halo=3" {
+		t.Errorf("Params.String = %q", ps)
+	}
+}

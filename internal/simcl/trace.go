@@ -1,0 +1,141 @@
+package simcl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SpanKind classifies a traced command.
+type SpanKind string
+
+// Span kinds recorded by the runtime.
+const (
+	SpanStartup SpanKind = "startup"
+	SpanKernel  SpanKind = "kernel"
+	SpanXfer    SpanKind = "xfer"
+	SpanHost    SpanKind = "host"
+)
+
+// Span is one traced command occupation: [Start, End) in virtual
+// nanoseconds on a device lane (or the host lane, Dev == -1).
+type Span struct {
+	Dev   int // device index; -1 for host compute
+	Kind  SpanKind
+	Start float64
+	End   float64
+	// Detail carries points for kernels or bytes for transfers.
+	Detail int
+}
+
+// Trace collects command spans of a simulation for timeline inspection.
+// Attach one to Platform.Trace before enqueuing work.
+type Trace struct {
+	Spans []Span
+}
+
+func (t *Trace) add(s Span) {
+	if t == nil {
+		return
+	}
+	t.Spans = append(t.Spans, s)
+}
+
+// ByDevice returns the spans of one lane in start order.
+func (t *Trace) ByDevice(dev int) []Span {
+	var out []Span
+	for _, s := range t.Spans {
+		if s.Dev == dev {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Span returns the overall [start, end) of the trace.
+func (t *Trace) Span() (start, end float64) {
+	if len(t.Spans) == 0 {
+		return 0, 0
+	}
+	start, end = t.Spans[0].Start, t.Spans[0].End
+	for _, s := range t.Spans[1:] {
+		if s.Start < start {
+			start = s.Start
+		}
+		if s.End > end {
+			end = s.End
+		}
+	}
+	return start, end
+}
+
+// Busy returns the total occupied nanoseconds of one lane.
+func (t *Trace) Busy(dev int) float64 {
+	var sum float64
+	for _, s := range t.Spans {
+		if s.Dev == dev {
+			sum += s.End - s.Start
+		}
+	}
+	return sum
+}
+
+var kindGlyph = map[SpanKind]byte{
+	SpanStartup: 'S',
+	SpanKernel:  '#',
+	SpanXfer:    'x',
+	SpanHost:    'H',
+}
+
+// Render draws the trace as an ASCII Gantt chart: one row per lane
+// (host first, then each device), width columns spanning the trace.
+func (t *Trace) Render(width int) string {
+	if width < 20 {
+		width = 20
+	}
+	start, end := t.Span()
+	if end <= start {
+		return "(empty trace)\n"
+	}
+	lanes := map[int]bool{}
+	for _, s := range t.Spans {
+		lanes[s.Dev] = true
+	}
+	var order []int
+	for d := range lanes {
+		order = append(order, d)
+	}
+	sort.Ints(order)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline %.3fms .. %.3fms (S=startup #=kernel x=xfer H=host)\n",
+		start/1e6, end/1e6)
+	scale := float64(width) / (end - start)
+	for _, dev := range order {
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range t.ByDevice(dev) {
+			lo := int((s.Start - start) * scale)
+			hi := int((s.End - start) * scale)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			if hi > width {
+				hi = width
+			}
+			for i := lo; i < hi && i < width; i++ {
+				row[i] = kindGlyph[s.Kind]
+			}
+		}
+		name := "host"
+		if dev >= 0 {
+			name = fmt.Sprintf("gpu%d", dev)
+		}
+		fmt.Fprintf(&b, "%-5s |%s|  busy %.1f%%\n", name, row,
+			100*t.Busy(dev)/(end-start))
+	}
+	return b.String()
+}

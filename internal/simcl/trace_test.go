@@ -1,0 +1,101 @@
+package simcl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+)
+
+func tracedPlatform() (*Platform, *Trace) {
+	p := NewPlatform(hw.I7_2600K())
+	tr := &Trace{}
+	p.Trace = tr
+	return p, tr
+}
+
+func TestTraceRecordsAllKinds(t *testing.T) {
+	p, tr := tracedPlatform()
+	d := p.Devs[0]
+	d.Start(nil)
+	d.EnqueueKernel(KernelReq{Points: 100, TSize: 10, DSize: 1}, nil)
+	d.EnqueueXfer(1000, nil)
+	p.HostCompute(500, nil)
+	p.Eng.Run()
+	kinds := map[SpanKind]int{}
+	for _, s := range tr.Spans {
+		kinds[s.Kind]++
+	}
+	for _, k := range []SpanKind{SpanStartup, SpanKernel, SpanXfer, SpanHost} {
+		if kinds[k] != 1 {
+			t.Errorf("kind %s recorded %d times, want 1", k, kinds[k])
+		}
+	}
+}
+
+func TestTraceSpansDoNotOverlapPerLane(t *testing.T) {
+	p, tr := tracedPlatform()
+	d := p.Devs[0]
+	d.Start(nil)
+	for i := 0; i < 5; i++ {
+		d.EnqueueKernel(KernelReq{Points: 1000, TSize: 100, DSize: 1}, nil)
+	}
+	d.EnqueueXfer(4000, nil)
+	p.Eng.Run()
+	spans := tr.ByDevice(0)
+	if len(spans) != 7 { // startup + 5 kernels + 1 xfer
+		t.Fatalf("got %d spans, want 7", len(spans))
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].End-1e-6 {
+			t.Fatalf("spans overlap on the in-order queue: %+v then %+v",
+				spans[i-1], spans[i])
+		}
+	}
+}
+
+func TestTraceSpanAndBusy(t *testing.T) {
+	p, tr := tracedPlatform()
+	p.HostCompute(100, nil)
+	p.Eng.Run()
+	start, end := tr.Span()
+	if start != 0 || end != 100 {
+		t.Errorf("span = [%v,%v], want [0,100]", start, end)
+	}
+	if tr.Busy(-1) != 100 {
+		t.Errorf("host busy = %v, want 100", tr.Busy(-1))
+	}
+	if tr.Busy(0) != 0 {
+		t.Error("idle device must have zero busy time")
+	}
+}
+
+func TestTraceRender(t *testing.T) {
+	p, tr := tracedPlatform()
+	a, b := p.Devs[0], p.Devs[1]
+	a.Start(nil)
+	b.Start(nil)
+	a.EnqueueKernel(KernelReq{Points: 100000, TSize: 500, DSize: 1}, nil)
+	b.EnqueueXfer(1_000_000, nil)
+	p.HostCompute(1e6, nil)
+	p.Eng.Run()
+	out := tr.Render(60)
+	for _, want := range []string{"host", "gpu0", "gpu1", "busy", "S"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if (&Trace{}).Render(40) != "(empty trace)\n" {
+		t.Error("empty trace render wrong")
+	}
+}
+
+func TestNilTraceIsSafe(t *testing.T) {
+	// Platforms without a trace must not record or crash.
+	p := NewPlatform(hw.I3_540())
+	d := p.Devs[0]
+	d.Start(nil)
+	d.EnqueueKernel(KernelReq{Points: 10, TSize: 1, DSize: 0}, nil)
+	p.HostCompute(10, nil)
+	p.Eng.Run()
+}

@@ -1,0 +1,251 @@
+// Package stats provides the descriptive statistics behind the paper's
+// figures: means and deviations (Figure 7), quantiles and Gaussian kernel
+// densities for violin plots (Figure 8), and dense heatmap grids
+// (Figure 5).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		s += (x - m) * (x - m)
+	}
+	return math.Sqrt(s / float64(n))
+}
+
+// Min returns the smallest value; it panics on empty input.
+func Min(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Min of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest value; it panics on empty input.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Max of empty slice")
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) by linear interpolation of
+// the sorted sample.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Quantile of empty slice")
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[len(s)-1]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Median returns the 0.5 quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// Violin summarizes a distribution the way the paper's Figure 8 violin
+// plots do: quartiles, extremes, and a kernel density profile.
+type Violin struct {
+	N                int
+	Min, Q1, Med, Q3 float64
+	MaxV             float64
+	Mean, SD         float64
+	// Grid and Density sample the Gaussian KDE at evenly spaced points
+	// from Min to MaxV.
+	Grid    []float64
+	Density []float64
+}
+
+// NewViolin computes a violin summary with the given number of density
+// sample points (>= 2).
+func NewViolin(xs []float64, points int) Violin {
+	if len(xs) == 0 {
+		return Violin{}
+	}
+	if points < 2 {
+		points = 2
+	}
+	v := Violin{
+		N:    len(xs),
+		Min:  Min(xs),
+		Q1:   Quantile(xs, 0.25),
+		Med:  Median(xs),
+		Q3:   Quantile(xs, 0.75),
+		MaxV: Max(xs),
+		Mean: Mean(xs),
+		SD:   StdDev(xs),
+	}
+	h := silverman(xs)
+	v.Grid = make([]float64, points)
+	v.Density = make([]float64, points)
+	span := v.MaxV - v.Min
+	for i := 0; i < points; i++ {
+		x := v.Min + span*float64(i)/float64(points-1)
+		v.Grid[i] = x
+		v.Density[i] = kde(xs, x, h)
+	}
+	return v
+}
+
+// silverman returns Silverman's rule-of-thumb KDE bandwidth.
+func silverman(xs []float64) float64 {
+	sd := StdDev(xs)
+	iqr := Quantile(xs, 0.75) - Quantile(xs, 0.25)
+	a := sd
+	if iqr > 0 && iqr/1.34 < a {
+		a = iqr / 1.34
+	}
+	if a == 0 {
+		a = 1
+	}
+	return 0.9 * a * math.Pow(float64(len(xs)), -0.2)
+}
+
+// kde evaluates the Gaussian kernel density estimate at x.
+func kde(xs []float64, x, h float64) float64 {
+	s := 0.0
+	for _, xi := range xs {
+		u := (x - xi) / h
+		s += math.Exp(-0.5 * u * u)
+	}
+	return s / (float64(len(xs)) * h * math.Sqrt(2*math.Pi))
+}
+
+// FlatBaseShare reports the fraction of samples within tol (relative) of
+// the minimum — the paper's "flat base of each violin" observation, which
+// distinguishes instances with many near-optimal configurations from
+// instances with a single sharp optimum.
+func FlatBaseShare(xs []float64, tol float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	lo := Min(xs)
+	hits := 0
+	for _, x := range xs {
+		if x <= lo*(1+tol) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(xs))
+}
+
+// Heatmap is a dense value grid addressed by row and column labels, as in
+// the paper's Figure 5 (rows = dim, columns = tsize).
+type Heatmap struct {
+	RowLabels []int
+	ColLabels []int
+	rows      map[int]int
+	cols      map[int]int
+	Values    [][]float64
+	set       [][]bool
+}
+
+// NewHeatmap allocates a heatmap over the given sorted label sets.
+func NewHeatmap(rowLabels, colLabels []int) *Heatmap {
+	h := &Heatmap{
+		RowLabels: append([]int(nil), rowLabels...),
+		ColLabels: append([]int(nil), colLabels...),
+		rows:      map[int]int{},
+		cols:      map[int]int{},
+	}
+	for i, r := range h.RowLabels {
+		h.rows[r] = i
+	}
+	for j, c := range h.ColLabels {
+		h.cols[c] = j
+	}
+	h.Values = make([][]float64, len(rowLabels))
+	h.set = make([][]bool, len(rowLabels))
+	for i := range h.Values {
+		h.Values[i] = make([]float64, len(colLabels))
+		h.set[i] = make([]bool, len(colLabels))
+	}
+	return h
+}
+
+// Set stores a cell value; unknown labels are an error.
+func (h *Heatmap) Set(row, col int, v float64) error {
+	i, ok := h.rows[row]
+	if !ok {
+		return fmt.Errorf("stats: unknown heatmap row %d", row)
+	}
+	j, ok := h.cols[col]
+	if !ok {
+		return fmt.Errorf("stats: unknown heatmap col %d", col)
+	}
+	h.Values[i][j] = v
+	h.set[i][j] = true
+	return nil
+}
+
+// Get returns the cell value and whether it was set.
+func (h *Heatmap) Get(row, col int) (float64, bool) {
+	i, ok := h.rows[row]
+	if !ok {
+		return 0, false
+	}
+	j, ok := h.cols[col]
+	if !ok {
+		return 0, false
+	}
+	return h.Values[i][j], h.set[i][j]
+}
+
+// Complete reports whether every cell was set.
+func (h *Heatmap) Complete() bool {
+	for i := range h.set {
+		for _, ok := range h.set[i] {
+			if !ok {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if Mean(xs) != 5 {
+		t.Errorf("Mean = %v, want 5", Mean(xs))
+	}
+	if StdDev(xs) != 2 {
+		t.Errorf("StdDev = %v, want 2", StdDev(xs))
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Error("empty-slice mean/sd must be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Error("Min/Max wrong")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if Median(xs) != 3 {
+		t.Errorf("Median = %v, want 3", Median(xs))
+	}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 5 {
+		t.Error("extreme quantiles wrong")
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Errorf("Q1 = %v, want 2", got)
+	}
+	// Interpolation on even-sized samples.
+	if got := Median([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Errorf("even median = %v, want 2.5", got)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, rng.Intn(50)+1)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestViolinSummary(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*2 + 10
+	}
+	v := NewViolin(xs, 32)
+	if v.N != 500 {
+		t.Fatal("N wrong")
+	}
+	if !(v.Min <= v.Q1 && v.Q1 <= v.Med && v.Med <= v.Q3 && v.Q3 <= v.MaxV) {
+		t.Error("quantile ordering violated")
+	}
+	if len(v.Grid) != 32 || len(v.Density) != 32 {
+		t.Error("density grid size wrong")
+	}
+	for _, d := range v.Density {
+		if d < 0 || math.IsNaN(d) {
+			t.Fatal("invalid density value")
+		}
+	}
+	// Density should peak near the mean for a normal sample.
+	peakAt := v.Grid[argmax(v.Density)]
+	if math.Abs(peakAt-10) > 1.5 {
+		t.Errorf("density peak at %v, want near 10", peakAt)
+	}
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i, x := range xs {
+		if x > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func TestViolinEmptyAndTiny(t *testing.T) {
+	if v := NewViolin(nil, 10); v.N != 0 {
+		t.Error("empty violin must be zero")
+	}
+	v := NewViolin([]float64{5}, 10)
+	if v.Med != 5 || v.Min != 5 || v.MaxV != 5 {
+		t.Error("singleton violin wrong")
+	}
+}
+
+func TestFlatBaseShare(t *testing.T) {
+	// 6 of 10 values within 10% of the minimum -> 0.6: the paper's "flat
+	// base" signal for GPU-friendly instances.
+	xs := []float64{100, 101, 105, 108, 109, 110, 200, 300, 400, 500}
+	if got := FlatBaseShare(xs, 0.10); got != 0.6 {
+		t.Errorf("FlatBaseShare = %v, want 0.6", got)
+	}
+	if FlatBaseShare(nil, 0.1) != 0 {
+		t.Error("empty share must be 0")
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	h := NewHeatmap([]int{500, 700}, []int{10, 100, 1000})
+	if h.Complete() {
+		t.Error("fresh heatmap must be incomplete")
+	}
+	if err := h.Set(500, 10, 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := h.Get(500, 10); !ok || v != 1.5 {
+		t.Error("Get after Set failed")
+	}
+	if _, ok := h.Get(999, 10); ok {
+		t.Error("unknown row must miss")
+	}
+	if err := h.Set(999, 10, 1); err == nil {
+		t.Error("unknown row must error")
+	}
+	if err := h.Set(500, 11, 1); err == nil {
+		t.Error("unknown col must error")
+	}
+	for _, r := range []int{500, 700} {
+		for _, c := range []int{10, 100, 1000} {
+			_ = h.Set(r, c, 0)
+		}
+	}
+	if !h.Complete() {
+		t.Error("fully set heatmap must be complete")
+	}
+}

@@ -1,0 +1,181 @@
+// Package wavefront is the public API of the reproduction of "Autotuning
+// Wavefront Applications for Multicore Multi-GPU Hybrid Architectures"
+// (Mohanty and Cole, PMAM 2014).
+//
+// It exposes four capabilities:
+//
+//   - the wavefront pattern library: define a Kernel and run it natively
+//     on the host CPU, serially or tile-parallel (RunSerial, RunParallel);
+//   - the modeled heterogeneous platforms of the paper's Table 4 and the
+//     three-phase hybrid execution strategy on them (Estimate, Simulate);
+//   - the exhaustive tuning-space exploration of Table 3 (Exhaustive);
+//   - the machine-learned autotuner: train on the synthetic application,
+//     deploy on unseen applications (Train, Tuner.Predict).
+//
+// The types are aliases of the internal implementation packages, so the
+// public surface stays small while examples and downstream code never
+// import repro/internal/... directly.
+package wavefront
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cpuexec"
+	"repro/internal/engine"
+	"repro/internal/grid"
+	"repro/internal/hw"
+	"repro/internal/kernels"
+	"repro/internal/plan"
+)
+
+// Grid is a square wavefront array (two int64 variables plus DSize
+// float64 values per cell).
+type Grid = grid.Grid
+
+// Kernel is a wavefront point computation; see NewSynthetic, NewNash,
+// NewSeqCompare and NewKnapsack for the paper's applications, or
+// implement the interface for your own.
+type Kernel = kernels.Kernel
+
+// Instance describes a problem instance by the paper's input parameters
+// (Table 1): Dim, TSize, DSize.
+type Instance = plan.Instance
+
+// Params is a setting of the paper's tunable parameters (Table 2):
+// CPUTile, Band, GPUTile, Halo (gpu-count is encoded in Band/Halo).
+type Params = plan.Params
+
+// System is a modeled platform (Table 4).
+type System = hw.System
+
+// Result is the outcome of a modeled run, including the phase breakdown.
+type Result = engine.Result
+
+// Space is an exhaustive search space (Table 3).
+type Space = core.Space
+
+// SearchResult holds an exhaustive exploration.
+type SearchResult = core.SearchResult
+
+// Tuner is a trained autotuner for one system.
+type Tuner = core.Tuner
+
+// Prediction is a deployed tuning decision.
+type Prediction = core.Prediction
+
+// TrainOptions configure tuner training.
+type TrainOptions = core.TrainOptions
+
+// NewGrid allocates a dim x dim grid with dsize floats per cell.
+func NewGrid(dim, dsize int) *Grid { return grid.New(dim, dsize) }
+
+// NewSynthetic returns the paper's synthetic training kernel with the
+// given granularity (iterations) and data size (floats per cell).
+func NewSynthetic(iters, dsize int) Kernel { return kernels.NewSynthetic(iters, dsize) }
+
+// NewNash returns the Nash-equilibrium kernel (coarse-grained; one round
+// maps to tsize 750 at dsize 4).
+func NewNash(rounds int) Kernel { return kernels.NewNash(rounds) }
+
+// NewSeqCompare returns the biological sequence comparison
+// (Smith-Waterman) kernel (fine-grained; tsize 0.5, dsize 0).
+func NewSeqCompare() Kernel { return kernels.NewSeqCompare() }
+
+// NewSeqCompareWith aligns two explicit sequences.
+func NewSeqCompareWith(a, b []byte) Kernel { return kernels.NewSeqCompareWith(a, b) }
+
+// NewKnapsack returns the 0/1 knapsack kernel (the paper's future-work
+// dynamic program) over a deterministic dim-item instance.
+func NewKnapsack(dim int) Kernel { return kernels.NewKnapsack(dim) }
+
+// Systems returns the paper's three modeled platforms.
+func Systems() []System { return hw.Systems() }
+
+// SystemByName looks up one of the Table 4 systems ("i3-540", "i7-2600K",
+// "i7-3820").
+func SystemByName(name string) (System, bool) { return hw.ByName(name) }
+
+// InstanceOf derives the paper-scale instance parameters for running
+// kernel k at the given dimension.
+func InstanceOf(dim int, k Kernel) Instance {
+	return Instance{Dim: dim, TSize: k.TSize(), DSize: k.DSize()}
+}
+
+// RunSerial computes the grid with k on one host core and returns the
+// wall-clock time.
+func RunSerial(k Kernel, g *Grid) time.Duration {
+	start := time.Now()
+	cpuexec.RunSerial(k, g)
+	return time.Since(start)
+}
+
+// RunParallel computes the grid with k on the host CPU using the tiled
+// wavefront executor (cpuTile-sided tiles, workers goroutines; workers
+// <= 0 selects GOMAXPROCS) and returns the wall-clock time.
+func RunParallel(k Kernel, g *Grid, cpuTile, workers int) (time.Duration, error) {
+	start := time.Now()
+	err := cpuexec.New(workers).Run(k, g, cpuTile)
+	return time.Since(start), err
+}
+
+// CPUOnly returns the all-CPU configuration with the given tile.
+func CPUOnly(cpuTile int) Params { return engine.CPUOnlyParams(cpuTile) }
+
+// GPUOnly returns the full single-GPU offload configuration.
+func GPUOnly(dim int) Params { return engine.GPUOnlyParams(dim) }
+
+// Estimate models a run of inst with parameters par on sys and returns
+// virtual time and breakdown without computing data.
+func Estimate(sys System, inst Instance, par Params) (Result, error) {
+	return engine.Estimate(sys, inst, par, engine.Options{})
+}
+
+// Simulate executes kernel k functionally on the modeled system: the
+// returned grid holds real results (bit-identical to RunSerial) and the
+// result carries the virtual time of the three-phase hybrid execution.
+func Simulate(sys System, dim int, k Kernel, par Params) (Result, *Grid, error) {
+	return engine.Simulate(sys, dim, k, par)
+}
+
+// SerialSeconds returns the modeled optimized sequential baseline in
+// seconds.
+func SerialSeconds(sys System, inst Instance) float64 {
+	return engine.SerialNs(sys, inst) / 1e9
+}
+
+// DefaultSpace returns the paper's Table 3 search space.
+func DefaultSpace() Space { return core.DefaultSpace() }
+
+// QuickSpace returns a reduced space for experimentation.
+func QuickSpace() Space { return core.QuickSpace() }
+
+// Exhaustive explores the space on sys with the paper's 90-second
+// threshold.
+func Exhaustive(sys System, space Space) (*SearchResult, error) {
+	return core.Exhaustive(sys, space, core.SearchOptions{})
+}
+
+// Train fits the paper's model pipeline (SVM gate, REP tree, M5 model
+// trees) on an exhaustive search result.
+func Train(sr *SearchResult, opts TrainOptions) (*Tuner, error) {
+	return core.Train(sr, opts)
+}
+
+// DefaultTrainOptions returns the standard training configuration.
+func DefaultTrainOptions() TrainOptions { return core.DefaultTrainOptions() }
+
+// SimulateTraced is Simulate with command-timeline collection enabled;
+// inspect the timeline via Result.Trace.Render.
+func SimulateTraced(sys System, dim int, k Kernel, par Params) (Result, *Grid, error) {
+	return engine.SimulateOpts(sys, dim, k, par, engine.Options{CollectTrace: true})
+}
+
+// EstimateWithGPUs models a dual-GPU configuration widened to n devices on
+// a system extended via WithGPUs — the paper's future-work extension.
+func EstimateWithGPUs(sys System, inst Instance, par Params, n int) (Result, error) {
+	return engine.Estimate(sys, inst, par, engine.Options{GPUs: n})
+}
+
+// WithGPUs returns a copy of sys carrying n replicas of its first GPU.
+func WithGPUs(sys System, n int) System { return hw.WithGPUCount(sys, n) }
