@@ -5,7 +5,16 @@
 // The public API lives in repro/wavefront; the substrates (grid,
 // kernels, discrete-event simulator, simulated OpenCL runtime, machine
 // models, ML stack, autotuner, experiments) live under repro/internal.
-// bench_test.go in this directory regenerates every table and figure of
-// the paper's evaluation; see DESIGN.md for the experiment index and
-// EXPERIMENTS.md for paper-vs-measured results.
+// The wavefront substrate supports both the paper's square dim x dim
+// arrays and general rectangular rows x cols arrays (e.g. aligning two
+// sequences of unequal length); every layer — native executors, the
+// three-phase estimator/simulator, and the exhaustive search — accepts
+// both shapes. bench_test.go in this directory regenerates the tables
+// and figures of the paper's evaluation.
+//
+// Build and test with the standard toolchain:
+//
+//	go build ./... && go test ./...
+//
+// See README.md for an overview and the rectangular-grid API.
 package repro

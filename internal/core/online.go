@@ -141,7 +141,7 @@ func neighbours(inst plan.Instance, p plan.Params) []plan.Params {
 	for i, t := range tiles {
 		if t == p.CPUTile || (p.CPUTile < t && (i == 0 || tiles[i-1] < p.CPUTile)) {
 			for _, n := range []int{i - 1, i + 1} {
-				if n >= 0 && n < len(tiles) && tiles[n] != p.CPUTile && tiles[n] <= inst.Dim {
+				if n >= 0 && n < len(tiles) && tiles[n] != p.CPUTile && tiles[n] <= inst.MaxSide() {
 					q := p
 					q.CPUTile = tiles[n]
 					add(q)
@@ -154,7 +154,7 @@ func neighbours(inst plan.Instance, p plan.Params) []plan.Params {
 	if p.Band < 0 {
 		// Try switching the GPU on with a mid-sized band.
 		q := p
-		q.Band = (inst.Dim - 1) / 2
+		q.Band = inst.MaxUsefulBand() / 2
 		q.Halo = -1
 		add(q)
 		return out
@@ -166,8 +166,8 @@ func neighbours(inst plan.Instance, p plan.Params) []plan.Params {
 		if nb == p.Band {
 			nb = p.Band + 1
 		}
-		if nb > 2*inst.Dim-1 {
-			nb = 2*inst.Dim - 1
+		if nb > inst.NumDiags() {
+			nb = inst.NumDiags()
 		}
 		if nb >= 0 {
 			q := p

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/engine"
 	"repro/internal/hw"
@@ -84,14 +85,24 @@ type SearchOptions struct {
 	ThresholdNs float64
 	// Workers bounds host parallelism (default GOMAXPROCS).
 	Workers int
+
+	// estimate is a test seam for the point evaluator; nil selects
+	// engine.Estimate.
+	estimate func(hw.System, plan.Instance, plan.Params, engine.Options) (engine.Result, error)
 }
 
 // Exhaustive evaluates every configuration of the space for every
 // instance on sys through the analytic estimator, in parallel across host
-// cores, with deterministic output order.
+// cores, with deterministic output order. The first estimation error
+// cancels the remaining work promptly: in-flight workers stop at their
+// next configuration and queued instances are never started.
 func Exhaustive(sys hw.System, space Space, opts SearchOptions) (*SearchResult, error) {
 	if opts.ThresholdNs == 0 {
 		opts.ThresholdNs = engine.DefaultThresholdNs
+	}
+	estimate := opts.estimate
+	if estimate == nil {
+		estimate = engine.Estimate
 	}
 	workers := opts.Workers
 	if workers <= 0 {
@@ -103,8 +114,12 @@ func Exhaustive(sys hw.System, space Space, opts SearchOptions) (*SearchResult, 
 	var wg sync.WaitGroup
 	var firstErr error
 	var mu sync.Mutex
+	var stop atomic.Bool
 	sem := make(chan struct{}, workers)
 	for i, inst := range insts {
+		if stop.Load() {
+			break
+		}
 		i, inst := i, inst
 		wg.Add(1)
 		sem <- struct{}{}
@@ -113,8 +128,12 @@ func Exhaustive(sys hw.System, space Space, opts SearchOptions) (*SearchResult, 
 			defer func() { <-sem }()
 			ir := InstanceResult{Inst: inst, SerialNs: engine.SerialNs(sys, inst)}
 			for _, par := range space.Configs(inst, sys) {
-				res, err := engine.Estimate(sys, inst, par, engine.Options{ThresholdNs: opts.ThresholdNs})
+				if stop.Load() {
+					return
+				}
+				res, err := estimate(sys, inst, par, engine.Options{ThresholdNs: opts.ThresholdNs})
 				if err != nil {
+					stop.Store(true)
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = fmt.Errorf("core: estimating %v %v: %w", inst, par, err)
@@ -136,10 +155,12 @@ func Exhaustive(sys hw.System, space Space, opts SearchOptions) (*SearchResult, 
 	return out, nil
 }
 
-// For returns the result for an exact instance, or false.
+// For returns the result for an exact instance, or false. The square and
+// rectangular spellings of the same shape (Dim=n vs Rows=Cols=n) match.
 func (sr *SearchResult) For(inst plan.Instance) (*InstanceResult, bool) {
+	want := inst.Normalize()
 	for i := range sr.Instances {
-		if sr.Instances[i].Inst == inst {
+		if sr.Instances[i].Inst.Normalize() == want {
 			return &sr.Instances[i], true
 		}
 	}

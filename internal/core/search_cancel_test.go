@@ -1,0 +1,85 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/hw"
+	"repro/internal/plan"
+)
+
+func TestExhaustiveStopsPromptlyOnEstimateError(t *testing.T) {
+	// Regression: an Estimate error used to record firstErr but let every
+	// other in-flight goroutine evaluate its entire configuration space.
+	// With cancellation, the first failure must stop the search after at
+	// most one in-flight call per worker.
+	sys := hw.I7_2600K()
+	space := tinySpace()
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	const workers = 4
+	opts := SearchOptions{
+		Workers: workers,
+		estimate: func(hw.System, plan.Instance, plan.Params, engine.Options) (engine.Result, error) {
+			calls.Add(1)
+			return engine.Result{}, boom
+		},
+	}
+	_, err := Exhaustive(sys, space, opts)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "core: estimating") {
+		t.Errorf("error not annotated: %v", err)
+	}
+	// Every goroutine checks the stop flag before each call, so once the
+	// first call fails, at most one straggler call per worker can slip in.
+	if got := calls.Load(); got > workers {
+		t.Errorf("estimate called %d times after instant failure, want <= %d", got, workers)
+	}
+	if total := space.Size(sys); int(calls.Load()) >= total {
+		t.Errorf("search did not short-circuit: %d calls of %d total", calls.Load(), total)
+	}
+}
+
+func TestExhaustiveStopsMidSearch(t *testing.T) {
+	// Failing partway through must still cancel the remaining bulk of the
+	// space rather than draining it.
+	sys := hw.I7_2600K()
+	space := tinySpace()
+	total := space.Size(sys)
+	boom := errors.New("deferred boom")
+	const failAt = 40
+	var calls atomic.Int64
+	opts := SearchOptions{
+		Workers: 2,
+		estimate: func(s hw.System, inst plan.Instance, par plan.Params, o engine.Options) (engine.Result, error) {
+			if calls.Add(1) >= failAt {
+				return engine.Result{}, boom
+			}
+			return engine.Estimate(s, inst, par, o)
+		},
+	}
+	_, err := Exhaustive(sys, space, opts)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if got := int(calls.Load()); got >= total/2 {
+		t.Errorf("search drained %d of %d evaluations after an early error", got, total)
+	}
+}
+
+func TestExhaustiveSucceedsWithoutHook(t *testing.T) {
+	// The default path (engine.Estimate) is untouched by the seam.
+	sys := hw.I3_540()
+	sr, err := Exhaustive(sys, tinySpace(), SearchOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Evaluations() != tinySpace().Size(sys) {
+		t.Errorf("evaluations = %d, want %d", sr.Evaluations(), tinySpace().Size(sys))
+	}
+}

@@ -20,6 +20,33 @@ import (
 
 const searchCSVHeader = "system,dim,tsize,dsize,cpu_tile,band,gpu_tile,halo,rtime_ns,censored"
 
+// shapeField renders the dim column: a bare integer for square instances
+// (the original format) and "rowsxcols" for rectangular ones.
+func shapeField(inst plan.Instance) string {
+	if rows, cols := inst.Shape(); rows != cols {
+		return fmt.Sprintf("%dx%d", rows, cols)
+	}
+	rows, _ := inst.Shape()
+	return strconv.Itoa(rows)
+}
+
+// parseShapeField inverts shapeField into an instance shape.
+func parseShapeField(s string) (plan.Instance, error) {
+	if r, c, ok := strings.Cut(s, "x"); ok {
+		rows, err1 := strconv.Atoi(r)
+		cols, err2 := strconv.Atoi(c)
+		if err1 != nil || err2 != nil {
+			return plan.Instance{}, fmt.Errorf("bad shape %q", s)
+		}
+		return plan.Instance{Rows: rows, Cols: cols}, nil
+	}
+	dim, err := strconv.Atoi(s)
+	if err != nil {
+		return plan.Instance{}, err
+	}
+	return plan.Instance{Dim: dim}, nil
+}
+
 // WriteCSV streams every evaluated point of the search result.
 func (sr *SearchResult) WriteCSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
@@ -27,8 +54,8 @@ func (sr *SearchResult) WriteCSV(w io.Writer) error {
 	for i := range sr.Instances {
 		ir := &sr.Instances[i]
 		for _, p := range ir.Points {
-			fmt.Fprintf(bw, "%s,%d,%s,%d,%d,%d,%d,%d,%s,%t\n",
-				sr.Sys.Name, p.Inst.Dim,
+			fmt.Fprintf(bw, "%s,%s,%s,%d,%d,%d,%d,%d,%s,%t\n",
+				sr.Sys.Name, shapeField(p.Inst),
 				strconv.FormatFloat(p.Inst.TSize, 'g', -1, 64), p.Inst.DSize,
 				p.Par.CPUTile, p.Par.Band, p.Par.GPUTile, p.Par.Halo,
 				strconv.FormatFloat(p.RTimeNs, 'g', -1, 64), p.Censored)
@@ -72,8 +99,12 @@ func ReadCSV(r io.Reader) (*SearchResult, error) {
 		} else if sr.Sys.Name != f[0] {
 			return nil, fmt.Errorf("core: line %d: mixed systems %q and %q", line, sr.Sys.Name, f[0])
 		}
-		ints := make([]int, 0, 6)
-		for _, idx := range []int{1, 3, 4, 5, 6, 7} {
+		shape, err := parseShapeField(f[1])
+		if err != nil {
+			return nil, fmt.Errorf("core: line %d field 1: %v", line, err)
+		}
+		ints := make([]int, 0, 5)
+		for _, idx := range []int{3, 4, 5, 6, 7} {
 			v, err := strconv.Atoi(f[idx])
 			if err != nil {
 				return nil, fmt.Errorf("core: line %d field %d: %v", line, idx, err)
@@ -92,8 +123,9 @@ func ReadCSV(r io.Reader) (*SearchResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: line %d: %v", line, err)
 		}
-		inst := plan.Instance{Dim: ints[0], TSize: tsize, DSize: ints[1]}
-		par := plan.Params{CPUTile: ints[2], Band: ints[3], GPUTile: ints[4], Halo: ints[5]}
+		inst := shape
+		inst.TSize, inst.DSize = tsize, ints[0]
+		par := plan.Params{CPUTile: ints[1], Band: ints[2], GPUTile: ints[3], Halo: ints[4]}
 		ir, ok := byInst[inst]
 		if !ok {
 			ir = &InstanceResult{Inst: inst, SerialNs: engine.SerialNs(sr.Sys, inst)}
@@ -115,14 +147,19 @@ func ReadCSV(r io.Reader) (*SearchResult, error) {
 	return sr, nil
 }
 
-// spaceFromInstances rebuilds the instance grid (dims, tsizes, dsizes) of
-// a loaded search so training's regular sampling works.
+// spaceFromInstances rebuilds the instance grid (dims, rect shapes,
+// tsizes, dsizes) of a loaded search so training's regular sampling works.
 func spaceFromInstances(insts []plan.Instance) Space {
 	dimSet := map[int]bool{}
+	rectSet := map[[2]int]bool{}
 	tsSet := map[float64]bool{}
 	dsSet := map[int]bool{}
 	for _, in := range insts {
-		dimSet[in.Dim] = true
+		if rows, cols := in.Shape(); rows != cols {
+			rectSet[[2]int{rows, cols}] = true
+		} else {
+			dimSet[rows] = true
+		}
 		tsSet[in.TSize] = true
 		dsSet[in.DSize] = true
 	}
@@ -130,6 +167,15 @@ func spaceFromInstances(insts []plan.Instance) Space {
 	for d := range dimSet {
 		s.Dims = append(s.Dims, d)
 	}
+	for rc := range rectSet {
+		s.Rects = append(s.Rects, rc)
+	}
+	sort.Slice(s.Rects, func(i, j int) bool {
+		if s.Rects[i][0] != s.Rects[j][0] {
+			return s.Rects[i][0] < s.Rects[j][0]
+		}
+		return s.Rects[i][1] < s.Rects[j][1]
+	})
 	for t := range tsSet {
 		s.TSizes = append(s.TSizes, t)
 	}

@@ -17,7 +17,12 @@ import (
 // every instance, mirroring Table 3's ranges with the paper's
 // "irregularly spaced" values.
 type Space struct {
-	Dims   []int
+	Dims []int
+	// Rects lists additional rectangular {rows, cols} shapes to explore
+	// alongside the square Dims — e.g. sequence alignments of unequal
+	// lengths. Each shape is crossed with every TSize and DSize, exactly
+	// like a square dim.
+	Rects  [][2]int
 	TSizes []float64
 	DSizes []int
 
@@ -65,10 +70,28 @@ func QuickSpace() Space {
 // deterministic order.
 func (s Space) Instances() []plan.Instance {
 	var out []plan.Instance
+	// Deduplicate by normalized shape so a square entry in Rects cannot
+	// shadow (or double-count against) the same side length in Dims.
+	seen := make(map[plan.Instance]bool)
+	add := func(in plan.Instance) {
+		key := in.Normalize()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		out = append(out, in)
+	}
 	for _, dim := range s.Dims {
 		for _, ts := range s.TSizes {
 			for _, ds := range s.DSizes {
-				out = append(out, plan.Instance{Dim: dim, TSize: ts, DSize: ds})
+				add(plan.Instance{Dim: dim, TSize: ts, DSize: ds})
+			}
+		}
+	}
+	for _, rc := range s.Rects {
+		for _, ts := range s.TSizes {
+			for _, ds := range s.DSizes {
+				add(plan.Instance{Rows: rc[0], Cols: rc[1], TSize: ts, DSize: ds})
 			}
 		}
 	}
@@ -98,7 +121,7 @@ func (s Space) Configs(inst plan.Instance, sys hw.System) []plan.Params {
 		out = append(out, p)
 	}
 	for _, ct := range s.CPUTiles {
-		if ct > inst.Dim {
+		if ct > inst.MaxSide() {
 			continue
 		}
 		for _, bf := range s.BandFracs {
@@ -106,7 +129,7 @@ func (s Space) Configs(inst plan.Instance, sys hw.System) []plan.Params {
 				add(plan.Params{CPUTile: ct, Band: -1, GPUTile: 1, Halo: -1})
 				continue
 			}
-			band := int(bf * float64(inst.Dim-1))
+			band := int(bf * float64(inst.MaxUsefulBand()))
 			if band < 0 {
 				band = 0
 			}

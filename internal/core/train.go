@@ -96,6 +96,12 @@ func BuildTraining(sr *SearchResult, opts TrainOptions) (*Training, error) {
 
 	for i := range sr.Instances {
 		ir := &sr.Instances[i]
+		if !ir.Inst.Square() {
+			// Training follows the paper's square synthetic grid; a sweep
+			// may additionally contain rectangular evaluation instances,
+			// which the regular dim x tsize sampling cannot place.
+			continue
+		}
 		di, ok1 := dimPos[ir.Inst.Dim]
 		ti, ok2 := tsPos[ir.Inst.TSize]
 		if !ok1 || !ok2 {

@@ -156,12 +156,12 @@ func (p Prediction) String() string {
 // how the paper's tuner achieved super-optimal points on the i3-540; the
 // predictions are only clamped to validity, never snapped to the grid.
 func (t *Tuner) Predict(inst plan.Instance) Prediction {
-	x := []float64{float64(inst.Dim), inst.TSize, float64(inst.DSize)}
+	x := []float64{float64(inst.MaxSide()), inst.TSize, float64(inst.DSize)}
 	if !t.Parallel.Classify(x) {
-		return Prediction{Serial: true, Par: engine.CPUOnlyParams(clampTile(engine.SerialTile, inst.Dim))}
+		return Prediction{Serial: true, Par: engine.CPUOnlyParams(clampTile(engine.SerialTile, inst.MaxSide()))}
 	}
 
-	ct := clampTile(int(math.Round(t.CPUTile.Predict(x))), inst.Dim)
+	ct := clampTile(int(math.Round(t.CPUTile.Predict(x))), inst.MaxSide())
 
 	// The REP tree's overloaded gpu-tile: below 0.5 the GPU is not
 	// employed at all (the paper's "0"); otherwise round to a work-group
@@ -182,10 +182,10 @@ func (t *Tuner) Predict(inst plan.Instance) Prediction {
 	if band < 0 {
 		band = -1
 	}
-	if band > inst.Dim-1 {
-		// Bands beyond dim-1 are legal (Table 3) but equivalent to full
-		// offload; clamp to the canonical value.
-		band = inst.Dim - 1
+	if band > inst.MaxUsefulBand() {
+		// Bands beyond the full-offload point are legal (Table 3) but
+		// equivalent; clamp to the canonical value.
+		band = inst.MaxUsefulBand()
 	}
 	par := plan.Params{CPUTile: ct, Band: band, GPUTile: gt, Halo: -1}
 	if band >= 0 && t.Sys.MaxGPUs() >= 2 {

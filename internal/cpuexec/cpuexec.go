@@ -3,7 +3,8 @@
 // described in Section 2 of the paper: the grid is partitioned into square
 // cpu-tile x cpu-tile tiles, tiles on the same tile-diagonal are
 // independent and run concurrently on a goroutine worker pool, and a
-// barrier separates consecutive tile-diagonals.
+// barrier separates consecutive tile-diagonals. Grids may be rectangular
+// (rows != cols); tiles at the edges are clipped.
 //
 // This is the "threads to control CPU phases" half of the paper's library;
 // the simulated platforms use the same tile-diagonal schedule via package
@@ -21,9 +22,9 @@ import (
 // RunSerial computes every cell of g with k in row-major order, the
 // optimized sequential baseline of the paper's comparisons.
 func RunSerial(k kernels.Kernel, g *grid.Grid) {
-	dim := g.Dim()
-	for r := 0; r < dim; r++ {
-		for c := 0; c < dim; c++ {
+	rows, cols := g.Rows(), g.Cols()
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
 			k.Compute(g, r, c)
 		}
 	}
@@ -32,16 +33,16 @@ func RunSerial(k kernels.Kernel, g *grid.Grid) {
 // RunSerialDiagRange computes the cells on diagonals [lo, hi] of g in
 // anti-diagonal order. It is the reference for phase-restricted execution.
 func RunSerialDiagRange(k kernels.Kernel, g *grid.Grid, lo, hi int) {
-	dim := g.Dim()
+	rows, cols := g.Rows(), g.Cols()
 	if lo < 0 {
 		lo = 0
 	}
-	if hi > grid.NumDiags(dim)-1 {
-		hi = grid.NumDiags(dim) - 1
+	if hi > g.NumDiags()-1 {
+		hi = g.NumDiags() - 1
 	}
 	for d := lo; d <= hi; d++ {
-		for i := 0; i < grid.DiagLen(dim, d); i++ {
-			r, c := grid.DiagCell(dim, d, i)
+		for i := 0; i < grid.DiagLenRect(rows, cols, d); i++ {
+			r, c := grid.DiagCellRect(rows, cols, d, i)
 			k.Compute(g, r, c)
 		}
 	}
@@ -49,7 +50,8 @@ func RunSerialDiagRange(k kernels.Kernel, g *grid.Grid, lo, hi int) {
 
 // Executor runs tiled parallel wavefront sweeps on a persistent
 // fixed-size worker pool. An Executor is safe for sequential reuse across
-// many runs; Close releases its workers.
+// many runs; Close releases its workers, after which Run returns
+// ErrClosed.
 type Executor struct {
 	workers int
 	pl      *pool
@@ -64,8 +66,8 @@ func New(workers int) *Executor {
 	return &Executor{workers: workers, pl: newPool(workers)}
 }
 
-// Close stops the executor's workers. The executor must not be used
-// afterwards.
+// Close stops the executor's workers and waits for them to exit. It is
+// idempotent; subsequent Run calls return ErrClosed.
 func (e *Executor) Close() { e.pl.close() }
 
 // Workers returns the pool size.
@@ -73,7 +75,7 @@ func (e *Executor) Workers() int { return e.workers }
 
 // Run computes the whole grid with square tiles of side ct.
 func (e *Executor) Run(k kernels.Kernel, g *grid.Grid, ct int) error {
-	return e.RunDiagRange(k, g, ct, 0, grid.NumDiags(g.Dim())-1)
+	return e.RunDiagRange(k, g, ct, 0, g.NumDiags()-1)
 }
 
 // RunDiagRange computes the cells of g whose diagonal index lies in
@@ -82,20 +84,28 @@ func (e *Executor) Run(k kernels.Kernel, g *grid.Grid, ct int) error {
 // the diagonal range, so the executor is usable for the CPU phases of the
 // three-phase strategy.
 func (e *Executor) RunDiagRange(k kernels.Kernel, g *grid.Grid, ct, lo, hi int) error {
-	dim := g.Dim()
-	if ct < 1 || ct > dim {
-		return fmt.Errorf("cpuexec: cpu-tile %d outside [1,%d]", ct, dim)
+	rows, cols := g.Rows(), g.Cols()
+	maxSide := rows
+	if cols > maxSide {
+		maxSide = cols
+	}
+	if ct < 1 || ct > maxSide {
+		return fmt.Errorf("cpuexec: cpu-tile %d outside [1,%d]", ct, maxSide)
+	}
+	if e.pl.isClosed() {
+		return ErrClosed
 	}
 	if lo < 0 {
 		lo = 0
 	}
-	if hi > grid.NumDiags(dim)-1 {
-		hi = grid.NumDiags(dim) - 1
+	if hi > g.NumDiags()-1 {
+		hi = g.NumDiags() - 1
 	}
 	if hi < lo {
 		return nil
 	}
-	nT := (dim + ct - 1) / ct
+	nTr := (rows + ct - 1) / ct
+	nTc := (cols + ct - 1) / ct
 	// Tile (I,J) holds cell diagonals [ (I+J)*ct, (I+J+2)*ct-2 ]; it can
 	// only contain region cells when (I+J)*ct <= hi and its max diagonal
 	// reaches lo.
@@ -107,11 +117,11 @@ func (e *Executor) RunDiagRange(k kernels.Kernel, g *grid.Grid, ct, lo, hi int) 
 		}
 	}
 	tHi := hi / ct
-	if tHi > 2*nT-2 {
-		tHi = 2*nT - 2
+	if tHi > nTr+nTc-2 {
+		tHi = nTr + nTc - 2
 	}
 	for t := tLo; t <= tHi; t++ {
-		if err := e.runTileDiag(k, g, ct, nT, t, lo, hi); err != nil {
+		if err := e.runTileDiag(k, g, ct, nTr, nTc, t, lo, hi); err != nil {
 			return err
 		}
 	}
@@ -119,14 +129,14 @@ func (e *Executor) RunDiagRange(k kernels.Kernel, g *grid.Grid, ct, lo, hi int) 
 }
 
 // runTileDiag executes all tiles with I+J == t in parallel and waits.
-func (e *Executor) runTileDiag(k kernels.Kernel, g *grid.Grid, ct, nT, t, lo, hi int) error {
+func (e *Executor) runTileDiag(k kernels.Kernel, g *grid.Grid, ct, nTr, nTc, t, lo, hi int) error {
 	iMin := 0
-	if t-(nT-1) > 0 {
-		iMin = t - (nT - 1)
+	if t-(nTc-1) > 0 {
+		iMin = t - (nTc - 1)
 	}
 	iMax := t
-	if iMax > nT-1 {
-		iMax = nT - 1
+	if iMax > nTr-1 {
+		iMax = nTr - 1
 	}
 	n := iMax - iMin + 1
 	if n <= 0 {
@@ -139,24 +149,22 @@ func (e *Executor) runTileDiag(k kernels.Kernel, g *grid.Grid, ct, nT, t, lo, hi
 		}
 		return nil
 	}
-	e.pl.run(n, func(idx int) {
+	return e.pl.run(n, func(idx int) {
 		i := iMin + idx
 		computeTile(k, g, i*ct, (t-i)*ct, ct, lo, hi)
 	})
-	return nil
 }
 
 // computeTile evaluates the cells of the tile with top-left corner
 // (r0, c0), restricted to diagonals [lo, hi].
 func computeTile(k kernels.Kernel, g *grid.Grid, r0, c0, ct, lo, hi int) {
-	dim := g.Dim()
 	rMax := r0 + ct
-	if rMax > dim {
-		rMax = dim
+	if rMax > g.Rows() {
+		rMax = g.Rows()
 	}
 	cMax := c0 + ct
-	if cMax > dim {
-		cMax = dim
+	if cMax > g.Cols() {
+		cMax = g.Cols()
 	}
 	for r := r0; r < rMax; r++ {
 		for c := c0; c < cMax; c++ {

@@ -1,9 +1,14 @@
 package cpuexec
 
 import (
+	"errors"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrClosed is returned by Run/RunDiagRange when the executor's pool has
+// been closed.
+var ErrClosed = errors.New("cpuexec: executor is closed")
 
 // pool is a persistent worker pool used by the executor: workers live for
 // the pool's lifetime and pick tile indices off a shared atomic counter,
@@ -21,12 +26,14 @@ type pool struct {
 	pending int64 // workers still draining the current region
 	done    chan struct{}
 	closed  bool
+	wg      sync.WaitGroup // tracks worker goroutine lifetimes
 }
 
 // newPool starts workers goroutines.
 func newPool(workers int) *pool {
 	p := &pool{workers: workers, done: make(chan struct{}, 1)}
 	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go p.worker()
 	}
@@ -34,13 +41,17 @@ func newPool(workers int) *pool {
 }
 
 func (p *pool) worker() {
+	defer p.wg.Done()
 	var seen int64
 	for {
 		p.mu.Lock()
 		for p.gen == seen && !p.closed {
 			p.cond.Wait()
 		}
-		if p.closed {
+		if p.gen == seen {
+			// Closed with no undrained region. A region published before
+			// close must still be drained so its run() call unblocks;
+			// exit only once the current generation is finished.
 			p.mu.Unlock()
 			return
 		}
@@ -62,12 +73,18 @@ func (p *pool) worker() {
 }
 
 // run executes work(0..n-1) across the pool and blocks until all items
-// complete. It must not be called concurrently with itself.
-func (p *pool) run(n int, work func(i int)) {
+// complete. It must not be called concurrently with itself. On a closed
+// pool it returns ErrClosed instead of deadlocking on workers that have
+// already exited.
+func (p *pool) run(n int, work func(i int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return ErrClosed
+	}
 	p.work = work
 	p.n = int64(n)
 	atomic.StoreInt64(&p.next, 0)
@@ -76,12 +93,26 @@ func (p *pool) run(n int, work func(i int)) {
 	p.cond.Broadcast()
 	p.mu.Unlock()
 	<-p.done
+	return nil
 }
 
-// close terminates the workers. The pool is unusable afterwards.
+// isClosed reports whether close has been called.
+func (p *pool) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+// close terminates the workers and waits for them to exit. It is
+// idempotent; run on a closed pool returns ErrClosed.
 func (p *pool) close() {
 	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
 	p.closed = true
 	p.cond.Broadcast()
 	p.mu.Unlock()
+	p.wg.Wait()
 }

@@ -99,9 +99,10 @@ func cpuPhaseNs(sys hw.System, inst plan.Instance, ct, lo, hi int) float64 {
 	if hi < lo {
 		return 0
 	}
+	rows, cols := inst.Shape()
 	per := sys.CPU.PointNs(inst.TSize, ct, inst.ElemBytes())
 	total := 0.0
-	for _, td := range plan.CPUTileDiags(inst.Dim, ct, lo, hi) {
+	for _, td := range plan.CPUTileDiagsRect(rows, cols, ct, lo, hi) {
 		p := math.Min(float64(td.NTiles), sys.CPU.EffParallel)
 		total += float64(td.Cells)*per/p + sys.CPU.TileBarrierNs
 	}
@@ -112,11 +113,11 @@ func cpuPhaseNs(sys hw.System, inst plan.Instance, ct, lo, hi int) float64 {
 // with the serial-best tile size and no synchronization.
 func SerialNs(sys hw.System, inst plan.Instance) float64 {
 	ct := SerialTile
-	if ct > inst.Dim {
-		ct = inst.Dim
+	if ct > inst.MinSide() {
+		ct = inst.MinSide()
 	}
 	per := sys.CPU.PointNs(inst.TSize, ct, inst.ElemBytes())
-	return float64(inst.Dim) * float64(inst.Dim) * per
+	return float64(inst.Cells()) * per
 }
 
 // gpuSchedule captures the device-side choreography of the GPU phase so
@@ -163,12 +164,13 @@ func buildGPUSchedule(pl *plan.Plan, functional bool, wantGPUs int) *gpuSchedule
 		return nil
 	}
 	inst := pl.Inst
+	rows, cols := inst.Shape()
 	elem := inst.ElemBytes()
 	sch := &gpuSchedule{nGPU: nGPU, xferIn: make([]int, nGPU), xferOut: make([]int, nGPU)}
 
 	// Input: the two predecessor diagonals feeding the band, split across
 	// devices.
-	inBytes := (grid.DiagLen(inst.Dim, pl.GLo-1) + grid.DiagLen(inst.Dim, pl.GLo-2)) * elem
+	inBytes := (grid.DiagLenRect(rows, cols, pl.GLo-1) + grid.DiagLenRect(rows, cols, pl.GLo-2)) * elem
 	for dev := 0; dev < nGPU; dev++ {
 		sch.xferIn[dev] = inBytes / nGPU
 	}
@@ -207,8 +209,8 @@ func buildGPUSchedule(pl *plan.Plan, functional bool, wantGPUs int) *gpuSchedule
 		p.swapAfter = nGPU >= 2 && ds+m <= pl.GHi
 		// Partition boundary rows for this period, cut from its first
 		// diagonal: bounds[j] is the first row of device j's share.
-		a0 := grid.DiagStartRow(inst.Dim, ds)
-		l0 := grid.DiagLen(inst.Dim, ds)
+		a0 := grid.DiagStartRowRect(rows, cols, ds)
+		l0 := grid.DiagLenRect(rows, cols, ds)
 		bounds := make([]int, nGPU+1)
 		for j := 0; j <= nGPU; j++ {
 			bounds[j] = a0 + j*l0/nGPU
@@ -225,7 +227,7 @@ func buildGPUSchedule(pl *plan.Plan, functional bool, wantGPUs int) *gpuSchedule
 				}
 				for k := c0; k < c0+cn; k++ {
 					d := ds + k
-					lo, hi := devRows(inst.Dim, d, dev, nGPU, bounds, m-1-k)
+					lo, hi := devRows(rows, cols, d, dev, nGPU, bounds, m-1-k)
 					if hi < lo {
 						continue
 					}
@@ -245,15 +247,15 @@ func buildGPUSchedule(pl *plan.Plan, functional bool, wantGPUs int) *gpuSchedule
 }
 
 // devRows returns the inclusive row range device dev computes on diagonal
-// d. bounds holds the period's partition cut rows (bounds[j] is the first
-// row of device j's share). A device below a partition boundary
-// additionally computes a shrinking overlap of ov rows above its cut (the
-// redundant halo computation of Section 2.1), because the wavefront
-// dependencies point towards lower rows. With one device the whole
-// diagonal is returned.
-func devRows(dim, d, dev, nGPU int, bounds []int, ov int) (lo, hi int) {
-	a := grid.DiagStartRow(dim, d)
-	b := a + grid.DiagLen(dim, d) - 1
+// d of a rows x cols grid. bounds holds the period's partition cut rows
+// (bounds[j] is the first row of device j's share). A device below a
+// partition boundary additionally computes a shrinking overlap of ov rows
+// above its cut (the redundant halo computation of Section 2.1), because
+// the wavefront dependencies point towards lower rows. With one device the
+// whole diagonal is returned.
+func devRows(rows, cols, d, dev, nGPU int, bounds []int, ov int) (lo, hi int) {
+	a := grid.DiagStartRowRect(rows, cols, d)
+	b := a + grid.DiagLenRect(rows, cols, d) - 1
 	if nGPU == 1 {
 		return a, b
 	}
@@ -376,7 +378,18 @@ func Simulate(sys hw.System, dim int, k kernels.Kernel, par plan.Params) (Result
 // SimulateOpts is Simulate with explicit options (e.g. widening to more
 // than two GPUs).
 func SimulateOpts(sys hw.System, dim int, k kernels.Kernel, par plan.Params, opts Options) (Result, *grid.Grid, error) {
-	inst := plan.Instance{Dim: dim, TSize: k.TSize(), DSize: k.DSize()}
+	return SimulateInst(sys, plan.Instance{Dim: dim}, k, par, opts)
+}
+
+// SimulateRect is Simulate over a rectangular rows x cols grid.
+func SimulateRect(sys hw.System, rows, cols int, k kernels.Kernel, par plan.Params) (Result, *grid.Grid, error) {
+	return SimulateInst(sys, plan.Instance{Rows: rows, Cols: cols}, k, par, Options{})
+}
+
+// SimulateInst executes a functional run over the shape of inst; the
+// granularity parameters (TSize, DSize) are always taken from the kernel.
+func SimulateInst(sys hw.System, inst plan.Instance, k kernels.Kernel, par plan.Params, opts Options) (Result, *grid.Grid, error) {
+	inst.TSize, inst.DSize = k.TSize(), k.DSize()
 	if err := validate(sys, par); err != nil {
 		return Result{}, nil, err
 	}
@@ -389,7 +402,8 @@ func SimulateOpts(sys hw.System, dim int, k kernels.Kernel, par plan.Params, opt
 		return Result{}, nil, err
 	}
 	res := Result{Plan: pl}
-	g := grid.New(dim, k.DSize())
+	rows, cols := inst.Shape()
+	g := grid.NewRect(rows, cols, k.DSize())
 	p := simcl.NewPlatform(sys)
 	p.Functional = true
 	if opts.CollectTrace {
@@ -525,7 +539,12 @@ func SimulateOpts(sys hw.System, dim int, k kernels.Kernel, par plan.Params, opt
 // Reference computes the grid serially on the host, for verifying
 // simulated results.
 func Reference(dim int, k kernels.Kernel) *grid.Grid {
-	g := grid.New(dim, k.DSize())
+	return ReferenceRect(dim, dim, k)
+}
+
+// ReferenceRect computes a rows x cols grid serially on the host.
+func ReferenceRect(rows, cols int, k kernels.Kernel) *grid.Grid {
+	g := grid.NewRect(rows, cols, k.DSize())
 	cpuexec.RunSerial(k, g)
 	return g
 }
@@ -535,8 +554,14 @@ func CPUOnlyParams(ct int) plan.Params {
 	return plan.Params{CPUTile: ct, Band: -1, GPUTile: 1, Halo: -1}
 }
 
-// GPUOnlyParams returns the configuration that offloads every diagonal to
-// a single GPU.
+// GPUOnlyParams returns the configuration that offloads every diagonal of
+// a square dim-sized instance to a single GPU.
 func GPUOnlyParams(dim int) plan.Params {
 	return plan.Params{CPUTile: 1, Band: dim - 1, GPUTile: 1, Halo: -1}
+}
+
+// GPUOnlyParamsFor returns the full single-GPU offload configuration for
+// an instance of any shape.
+func GPUOnlyParamsFor(inst plan.Instance) plan.Params {
+	return plan.Params{CPUTile: 1, Band: inst.MaxUsefulBand(), GPUTile: 1, Halo: -1}
 }

@@ -1,25 +1,34 @@
 // Package grid provides the data substrate for 2D wavefront computations:
-// a square array of cells, each holding two integer variables and a
+// a rectangular array of cells, each holding two integer variables and a
 // configurable number of floats (the paper's dsize), together with
 // anti-diagonal indexing helpers that every other layer builds on.
 //
-// A wavefront sweeps a dim x dim array from (0,0) towards (dim-1,dim-1) in
-// anti-diagonal bands: diagonal d contains all cells (r,c) with r+c == d.
-// Cell (r,c) may depend on its west (r,c-1), north (r-1,c) and northwest
-// (r-1,c-1) neighbours, all of which lie on diagonals d-1 and d-2, so the
-// diagonals form a linear dependence chain while cells within one diagonal
-// are independent — the data parallelism the paper exploits on GPUs.
+// A wavefront sweeps a rows x cols array from (0,0) towards
+// (rows-1,cols-1) in anti-diagonal bands: diagonal d contains all cells
+// (r,c) with r+c == d. Cell (r,c) may depend on its west (r,c-1), north
+// (r-1,c) and northwest (r-1,c-1) neighbours, all of which lie on
+// diagonals d-1 and d-2, so the diagonals form a linear dependence chain
+// while cells within one diagonal are independent — the data parallelism
+// the paper exploits on GPUs.
+//
+// The paper's experiments use square dim x dim arrays, and the square API
+// (New, NumDiags, DiagLen, ...) remains the convenient spelling for them.
+// Rectangular grids — e.g. aligning two sequences of unequal length — use
+// NewRect and the *Rect helpers; a rows x cols grid has rows+cols-1
+// anti-diagonals whose lengths rise 1,2,...,min(rows,cols), plateau, and
+// fall back to 1 (a clipped version of the square triangular profile).
 package grid
 
 import "fmt"
 
-// Grid is a square wavefront array with structure-of-arrays storage:
+// Grid is a rectangular wavefront array with structure-of-arrays storage:
 // two int64 variables and DSize float64 values per cell, matching the
 // paper's synthetic element of "two int variables and a varying number of
 // floats". Storage is row-major; diagonal-major views are provided for
 // GPU-style access.
 type Grid struct {
-	dim   int
+	rows  int
+	cols  int
 	dsize int
 	// IntA and IntB are the two integer variables of each cell.
 	IntA []int64
@@ -28,18 +37,25 @@ type Grid struct {
 	Floats []float64
 }
 
-// New allocates a dim x dim grid whose cells carry dsize floats each.
-// It panics if dim <= 0 or dsize < 0, as these are programming errors.
-func New(dim, dsize int) *Grid {
-	if dim <= 0 {
-		panic(fmt.Sprintf("grid: dim must be positive, got %d", dim))
+// New allocates a square dim x dim grid whose cells carry dsize floats
+// each. It panics if dim <= 0 or dsize < 0, as these are programming
+// errors.
+func New(dim, dsize int) *Grid { return NewRect(dim, dim, dsize) }
+
+// NewRect allocates a rows x cols grid whose cells carry dsize floats
+// each. It panics if rows <= 0, cols <= 0 or dsize < 0, as these are
+// programming errors.
+func NewRect(rows, cols, dsize int) *Grid {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("grid: shape must be positive, got %dx%d", rows, cols))
 	}
 	if dsize < 0 {
 		panic(fmt.Sprintf("grid: dsize must be non-negative, got %d", dsize))
 	}
-	n := dim * dim
+	n := rows * cols
 	g := &Grid{
-		dim:   dim,
+		rows:  rows,
+		cols:  cols,
 		dsize: dsize,
 		IntA:  make([]int64, n),
 		IntB:  make([]int64, n),
@@ -50,21 +66,34 @@ func New(dim, dsize int) *Grid {
 	return g
 }
 
-// Dim returns the side length of the grid.
-func (g *Grid) Dim() int { return g.dim }
+// Dim returns the side length of a square grid (its row count). It is the
+// square-grid shorthand; rectangular callers use Rows and Cols.
+func (g *Grid) Dim() int { return g.rows }
+
+// Rows returns the number of rows of the grid.
+func (g *Grid) Rows() int { return g.rows }
+
+// Cols returns the number of columns of the grid.
+func (g *Grid) Cols() int { return g.cols }
+
+// Square reports whether the grid has equal side lengths.
+func (g *Grid) Square() bool { return g.rows == g.cols }
 
 // DSize returns the number of floats per cell.
 func (g *Grid) DSize() int { return g.dsize }
 
-// Cells returns the total number of cells, dim*dim.
-func (g *Grid) Cells() int { return g.dim * g.dim }
+// Cells returns the total number of cells, rows*cols.
+func (g *Grid) Cells() int { return g.rows * g.cols }
+
+// NumDiags returns the number of anti-diagonals of the grid.
+func (g *Grid) NumDiags() int { return NumDiagsRect(g.rows, g.cols) }
 
 // Index returns the row-major index of cell (r, c).
-func (g *Grid) Index(r, c int) int { return r*g.dim + c }
+func (g *Grid) Index(r, c int) int { return r*g.cols + c }
 
 // InBounds reports whether (r, c) lies inside the grid.
 func (g *Grid) InBounds(r, c int) bool {
-	return r >= 0 && r < g.dim && c >= 0 && c < g.dim
+	return r >= 0 && r < g.rows && c >= 0 && c < g.cols
 }
 
 // Float returns the k-th float of cell (r, c).
@@ -98,92 +127,143 @@ func ElemBytes(dsize int) int { return 8 + 8*dsize }
 func (g *Grid) ElemBytes() int { return ElemBytes(g.dsize) }
 
 // NumDiags returns the number of anti-diagonals of a dim x dim grid.
-func NumDiags(dim int) int { return 2*dim - 1 }
+func NumDiags(dim int) int { return NumDiagsRect(dim, dim) }
+
+// NumDiagsRect returns the number of anti-diagonals of a rows x cols grid,
+// rows+cols-1.
+func NumDiagsRect(rows, cols int) int { return rows + cols - 1 }
 
 // DiagLen returns the number of cells on anti-diagonal d of a dim x dim
 // grid. Lengths rise 1,2,...,dim at d = dim-1 and fall back to 1, the
 // triangular parallelism profile of the paper's Figure 1(b).
-func DiagLen(dim, d int) int {
-	if d < 0 || d >= NumDiags(dim) {
+func DiagLen(dim, d int) int { return DiagLenRect(dim, dim, d) }
+
+// DiagLenRect returns the number of cells on anti-diagonal d of a
+// rows x cols grid: the diagonal is clipped to the rectangle, so lengths
+// rise 1,2,...,min(rows,cols), stay there across the plateau, and fall
+// back to 1 (the trapezoidal parallelism profile of a rectangular
+// wavefront).
+func DiagLenRect(rows, cols, d int) int {
+	if d < 0 || d > rows+cols-2 {
 		return 0
 	}
-	if d < dim {
-		return d + 1
+	lo := d - cols + 1
+	if lo < 0 {
+		lo = 0
 	}
-	return 2*dim - 1 - d
+	hi := d
+	if hi > rows-1 {
+		hi = rows - 1
+	}
+	return hi - lo + 1
 }
 
 // DiagStartRow returns the row of the first cell (smallest row index) on
-// anti-diagonal d. Cells on diagonal d are (r, d-r) for
-// r in [DiagStartRow, DiagStartRow+DiagLen).
-func DiagStartRow(dim, d int) int {
-	if d < dim {
+// anti-diagonal d of a dim x dim grid. Cells on diagonal d are (r, d-r)
+// for r in [DiagStartRow, DiagStartRow+DiagLen).
+func DiagStartRow(dim, d int) int { return DiagStartRowRect(dim, dim, d) }
+
+// DiagStartRowRect returns the row of the first cell on anti-diagonal d of
+// a rows x cols grid.
+func DiagStartRowRect(rows, cols, d int) int {
+	if d < cols {
 		return 0
 	}
-	return d - dim + 1
+	return d - cols + 1
 }
 
-// DiagCell returns the i-th cell (r, c) of anti-diagonal d, ordered by
-// increasing row.
-func DiagCell(dim, d, i int) (r, c int) {
-	r = DiagStartRow(dim, d) + i
+// DiagCell returns the i-th cell (r, c) of anti-diagonal d of a dim x dim
+// grid, ordered by increasing row.
+func DiagCell(dim, d, i int) (r, c int) { return DiagCellRect(dim, dim, d, i) }
+
+// DiagCellRect returns the i-th cell (r, c) of anti-diagonal d of a
+// rows x cols grid, ordered by increasing row.
+func DiagCellRect(rows, cols, d, i int) (r, c int) {
+	r = DiagStartRowRect(rows, cols, d) + i
 	return r, d - r
 }
 
 // DiagOf returns the anti-diagonal index of cell (r, c).
 func DiagOf(r, c int) int { return r + c }
 
-// CellsUpToDiag returns the number of cells on diagonals [0, d], i.e. the
-// size of the leading region computed before diagonal d+1 starts.
-func CellsUpToDiag(dim, d int) int {
+// CellsUpToDiag returns the number of cells of a dim x dim grid on
+// diagonals [0, d], i.e. the size of the leading region computed before
+// diagonal d+1 starts.
+func CellsUpToDiag(dim, d int) int { return CellsUpToDiagRect(dim, dim, d) }
+
+// CellsUpToDiagRect returns the number of cells of a rows x cols grid on
+// diagonals [0, d], in closed form: a leading triangle while lengths rise,
+// a linear plateau of width min(rows,cols), and the total minus the
+// trailing triangle once lengths fall.
+func CellsUpToDiagRect(rows, cols, d int) int {
 	if d < 0 {
 		return 0
 	}
-	last := NumDiags(dim) - 1
+	last := NumDiagsRect(rows, cols) - 1
 	if d >= last {
-		return dim * dim
+		return rows * cols
 	}
-	if d < dim {
+	m := rows
+	if cols < m {
+		m = cols
+	}
+	if d < m {
 		// Leading triangle: 1 + 2 + ... + (d+1).
 		n := d + 1
 		return n * (n + 1) / 2
 	}
-	// Total minus the trailing triangle strictly after d.
-	m := last - d // number of diagonals after d
-	return dim*dim - m*(m+1)/2
+	if t := last - d; t < m {
+		// Total minus the trailing triangle strictly after d.
+		return rows*cols - t*(t+1)/2
+	}
+	// Plateau: full leading triangle plus (d-m+1) diagonals of length m.
+	return m*(m+1)/2 + (d-m+1)*m
 }
 
-// CellsInDiagRange returns the number of cells on diagonals [lo, hi].
+// CellsInDiagRange returns the number of cells of a dim x dim grid on
+// diagonals [lo, hi].
 func CellsInDiagRange(dim, lo, hi int) int {
+	return CellsInDiagRangeRect(dim, dim, lo, hi)
+}
+
+// CellsInDiagRangeRect returns the number of cells of a rows x cols grid
+// on diagonals [lo, hi].
+func CellsInDiagRangeRect(rows, cols, lo, hi int) int {
 	if hi < lo {
 		return 0
 	}
-	return CellsUpToDiag(dim, hi) - CellsUpToDiag(dim, lo-1)
+	return CellsUpToDiagRect(rows, cols, hi) - CellsUpToDiagRect(rows, cols, lo-1)
 }
 
 // DiagView is a diagonal-major addressing scheme for a contiguous range of
 // anti-diagonals, as used when staging a band of diagonals in GPU memory.
 // Diagonals are laid out back to back, each ordered by increasing row.
 type DiagView struct {
-	Dim     int
-	Lo, Hi  int   // inclusive diagonal range
-	offsets []int // offsets[i] = cells before diagonal Lo+i
-	total   int
+	Rows, Cols int
+	Lo, Hi     int   // inclusive diagonal range
+	offsets    []int // offsets[i] = cells before diagonal Lo+i
+	total      int
 }
 
 // NewDiagView builds the diagonal-major layout for diagonals [lo, hi] of a
-// dim-sized grid. It panics on an invalid range: layout construction with
-// impossible bounds indicates a planner bug, not a runtime condition.
-func NewDiagView(dim, lo, hi int) *DiagView {
-	if lo < 0 || hi >= NumDiags(dim) || hi < lo {
-		panic(fmt.Sprintf("grid: invalid diagonal range [%d,%d] for dim %d", lo, hi, dim))
+// square dim-sized grid. It panics on an invalid range: layout
+// construction with impossible bounds indicates a planner bug, not a
+// runtime condition.
+func NewDiagView(dim, lo, hi int) *DiagView { return NewDiagViewRect(dim, dim, lo, hi) }
+
+// NewDiagViewRect builds the diagonal-major layout for diagonals [lo, hi]
+// of a rows x cols grid. It panics on an invalid range.
+func NewDiagViewRect(rows, cols, lo, hi int) *DiagView {
+	if lo < 0 || hi >= NumDiagsRect(rows, cols) || hi < lo {
+		panic(fmt.Sprintf("grid: invalid diagonal range [%d,%d] for shape %dx%d",
+			lo, hi, rows, cols))
 	}
-	v := &DiagView{Dim: dim, Lo: lo, Hi: hi}
+	v := &DiagView{Rows: rows, Cols: cols, Lo: lo, Hi: hi}
 	v.offsets = make([]int, hi-lo+2)
 	sum := 0
 	for d := lo; d <= hi; d++ {
 		v.offsets[d-lo] = sum
-		sum += DiagLen(dim, d)
+		sum += DiagLenRect(rows, cols, d)
 	}
 	v.offsets[hi-lo+1] = sum
 	v.total = sum
@@ -210,7 +290,8 @@ func (v *DiagView) Bytes(dsize int) int { return v.total * ElemBytes(dsize) }
 // against the serial reference.
 func (g *Grid) Clone() *Grid {
 	c := &Grid{
-		dim:   g.dim,
+		rows:  g.rows,
+		cols:  g.cols,
 		dsize: g.dsize,
 		IntA:  append([]int64(nil), g.IntA...),
 		IntB:  append([]int64(nil), g.IntB...),
@@ -223,7 +304,7 @@ func (g *Grid) Clone() *Grid {
 
 // Equal reports whether two grids have identical shape and contents.
 func (g *Grid) Equal(o *Grid) bool {
-	if g.dim != o.dim || g.dsize != o.dsize {
+	if g.rows != o.rows || g.cols != o.cols || g.dsize != o.dsize {
 		return false
 	}
 	for i := range g.IntA {

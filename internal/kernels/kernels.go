@@ -283,7 +283,7 @@ func (s *SeqCompare) Compute(g *grid.Grid, r, c int) {
 // Score returns the best local alignment score recorded in the grid after
 // a full sweep (the running maximum at the last cell).
 func (s *SeqCompare) Score(g *grid.Grid) int64 {
-	return g.B(g.Dim()-1, g.Dim()-1)
+	return g.B(g.Rows()-1, g.Cols()-1)
 }
 
 // Knapsack is the 0/1 knapsack dynamic program, the paper's named

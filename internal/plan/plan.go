@@ -11,14 +11,95 @@ import (
 )
 
 // Instance is one wavefront problem instance, described by the paper's
-// input parameters (Table 1).
+// input parameters (Table 1), generalized to rectangular arrays.
 type Instance struct {
-	// Dim is the side length of the (square) array.
+	// Dim is the side length of a square array — the paper's spelling and
+	// the shorthand for rows = cols = Dim. Leave it zero when Rows/Cols
+	// are set.
 	Dim int
+	// Rows and Cols describe a rectangular array (e.g. aligning two
+	// sequences of unequal length). When both are zero the instance is the
+	// square Dim x Dim array.
+	Rows, Cols int
 	// TSize is the task granularity in synthetic-kernel iterations.
 	TSize float64
 	// DSize is the per-element float count (element bytes = 8 + 8*dsize).
 	DSize int
+}
+
+// Shape is the compatibility accessor between the square and rectangular
+// spellings: it returns Rows/Cols when set and falls back to Dim/Dim, so
+// call sites written against square instances keep working unchanged.
+func (in Instance) Shape() (rows, cols int) {
+	if in.Rows > 0 || in.Cols > 0 {
+		return in.Rows, in.Cols
+	}
+	return in.Dim, in.Dim
+}
+
+// Square reports whether the instance has equal side lengths.
+func (in Instance) Square() bool {
+	rows, cols := in.Shape()
+	return rows == cols
+}
+
+// Cells returns the total number of cells, rows*cols.
+func (in Instance) Cells() int {
+	rows, cols := in.Shape()
+	return rows * cols
+}
+
+// NumDiags returns the number of anti-diagonals, rows+cols-1.
+func (in Instance) NumDiags() int {
+	rows, cols := in.Shape()
+	return grid.NumDiagsRect(rows, cols)
+}
+
+// MinSide and MaxSide return the smaller and larger side length.
+func (in Instance) MinSide() int {
+	rows, cols := in.Shape()
+	if rows < cols {
+		return rows
+	}
+	return cols
+}
+
+// MaxSide returns the larger side length.
+func (in Instance) MaxSide() int {
+	rows, cols := in.Shape()
+	if rows > cols {
+		return rows
+	}
+	return cols
+}
+
+// MidDiag returns the central anti-diagonal index, around which the GPU
+// band is centred. For a square instance it is the main diagonal dim-1.
+func (in Instance) MidDiag() int { return (in.NumDiags() - 1) / 2 }
+
+// MaxUsefulBand returns the smallest band that makes the offloaded region
+// cover every diagonal (dim-1 for a square instance); larger bands are
+// legal but equivalent.
+func (in Instance) MaxUsefulBand() int {
+	mid := in.MidDiag()
+	if rest := in.NumDiags() - 1 - mid; rest > mid {
+		return rest
+	}
+	return mid
+}
+
+// Normalize fills in both shape spellings: a square Rows/Cols instance
+// gains its Dim shorthand and a Dim instance gains Rows/Cols, so
+// equivalent instances compare equal.
+func (in Instance) Normalize() Instance {
+	rows, cols := in.Shape()
+	in.Rows, in.Cols = rows, cols
+	if rows == cols {
+		in.Dim = rows
+	} else {
+		in.Dim = 0
+	}
+	return in
 }
 
 // ElemBytes returns the modeled element size of the instance.
@@ -26,8 +107,12 @@ func (in Instance) ElemBytes() int { return grid.ElemBytes(in.DSize) }
 
 // Validate reports whether the instance is well-formed.
 func (in Instance) Validate() error {
-	if in.Dim < 1 {
-		return fmt.Errorf("plan: dim %d < 1", in.Dim)
+	rows, cols := in.Shape()
+	if rows < 1 || cols < 1 {
+		return fmt.Errorf("plan: shape %dx%d invalid (dim %d)", rows, cols, in.Dim)
+	}
+	if in.Dim > 0 && (in.Rows > 0 || in.Cols > 0) && (in.Rows != in.Dim || in.Cols != in.Dim) {
+		return fmt.Errorf("plan: dim %d inconsistent with shape %dx%d", in.Dim, in.Rows, in.Cols)
 	}
 	if !(in.TSize > 0) {
 		return fmt.Errorf("plan: tsize %v must be positive", in.TSize)
@@ -40,6 +125,11 @@ func (in Instance) Validate() error {
 
 // String implements fmt.Stringer.
 func (in Instance) String() string {
+	if rows, cols := in.Shape(); rows != cols {
+		return fmt.Sprintf("rows=%d cols=%d tsize=%g dsize=%d", rows, cols, in.TSize, in.DSize)
+	} else if in.Dim == 0 {
+		return fmt.Sprintf("dim=%d tsize=%g dsize=%d", rows, in.TSize, in.DSize)
+	}
 	return fmt.Sprintf("dim=%d tsize=%g dsize=%d", in.Dim, in.TSize, in.DSize)
 }
 
@@ -117,10 +207,10 @@ func Build(inst Instance, par Params) (*Plan, error) {
 	if par.CPUTile < 1 {
 		return nil, fmt.Errorf("plan: cpu-tile %d < 1", par.CPUTile)
 	}
-	if par.CPUTile > inst.Dim {
-		return nil, fmt.Errorf("plan: cpu-tile %d exceeds dim %d", par.CPUTile, inst.Dim)
+	if par.CPUTile > inst.MaxSide() {
+		return nil, fmt.Errorf("plan: cpu-tile %d exceeds max side %d", par.CPUTile, inst.MaxSide())
 	}
-	maxBand := 2*inst.Dim - 1
+	maxBand := inst.NumDiags()
 	if par.Band < -1 || par.Band > maxBand {
 		return nil, fmt.Errorf("plan: band %d outside [-1,%d]", par.Band, maxBand)
 	}
@@ -129,7 +219,7 @@ func Build(inst Instance, par Params) (*Plan, error) {
 	}
 	par = par.Normalize()
 
-	d := grid.NumDiags(inst.Dim)
+	d := inst.NumDiags()
 	pl := &Plan{Inst: inst, Par: par}
 	if par.Band < 0 {
 		// All-CPU: one CPU phase covering everything; GPU and phase 3 empty.
@@ -139,7 +229,7 @@ func Build(inst Instance, par Params) (*Plan, error) {
 		return pl, nil
 	}
 
-	mid := inst.Dim - 1
+	mid := inst.MidDiag()
 	lo, hi := mid-par.Band, mid+par.Band
 	if lo < 0 {
 		lo = 0
@@ -169,7 +259,8 @@ func (p *Plan) MaxHalo() int {
 	if p.Par.Band < 0 {
 		return -1
 	}
-	return grid.DiagLen(p.Inst.Dim, p.GLo) / 2
+	rows, cols := p.Inst.Shape()
+	return grid.DiagLenRect(rows, cols, p.GLo) / 2
 }
 
 // MaxHaloFor computes the halo cap for an instance and band without
@@ -178,12 +269,13 @@ func MaxHaloFor(inst Instance, band int) int {
 	if band < 0 {
 		return -1
 	}
-	mid := inst.Dim - 1
+	mid := inst.MidDiag()
 	lo := mid - band
 	if lo < 0 {
 		lo = 0
 	}
-	return grid.DiagLen(inst.Dim, lo) / 2
+	rows, cols := inst.Shape()
+	return grid.DiagLenRect(rows, cols, lo) / 2
 }
 
 // GPUDiags returns the number of offloaded diagonals (0 when the GPU is
@@ -197,12 +289,13 @@ func (p *Plan) GPUDiags() int {
 
 // GPUCells returns the number of cells in the offloaded band.
 func (p *Plan) GPUCells() int {
-	return grid.CellsInDiagRange(p.Inst.Dim, p.GLo, p.GHi)
+	rows, cols := p.Inst.Shape()
+	return grid.CellsInDiagRangeRect(rows, cols, p.GLo, p.GHi)
 }
 
 // CPUCells returns the number of cells in the two CPU phases.
 func (p *Plan) CPUCells() int {
-	return p.Inst.Dim*p.Inst.Dim - p.GPUCells()
+	return p.Inst.Cells() - p.GPUCells()
 }
 
 // SwapPeriod returns the number of diagonals between halo exchanges when
@@ -242,7 +335,7 @@ func (p *Plan) RedundantPoints() int {
 // AllGPU reports whether the plan offloads every diagonal (null CPU
 // phases, Section 2's "computation carried out entirely within the GPU").
 func (p *Plan) AllGPU() bool {
-	return p.Par.Band >= 0 && p.GLo == 0 && p.GHi == grid.NumDiags(p.Inst.Dim)-1
+	return p.Par.Band >= 0 && p.GLo == 0 && p.GHi == p.Inst.NumDiags()-1
 }
 
 // Partition describes one device's share of an offloaded diagonal.
@@ -295,17 +388,25 @@ type TileDiag struct {
 	Cells  int
 }
 
-// CPUTileDiags enumerates the tile-diagonals of the CPU phase covering
-// cell-diagonals [lo, hi] with square tiles of side ct. Tile-diagonal t
-// groups the cells whose diagonal index lies in [t*ct, (t+1)*ct-1] — these
-// spans partition the diagonal space, so the Cells fields sum exactly to
-// the region size. NTiles is the width of the tile wavefront at t, which
-// bounds the parallelism available to the executor.
+// CPUTileDiags enumerates the tile-diagonals of the CPU phase of a square
+// dim-sized grid; see CPUTileDiagsRect.
 func CPUTileDiags(dim, ct, lo, hi int) []TileDiag {
+	return CPUTileDiagsRect(dim, dim, ct, lo, hi)
+}
+
+// CPUTileDiagsRect enumerates the tile-diagonals of the CPU phase covering
+// cell-diagonals [lo, hi] of a rows x cols grid with square tiles of side
+// ct. Tile-diagonal t groups the cells whose diagonal index lies in
+// [t*ct, (t+1)*ct-1] — these spans partition the diagonal space, so the
+// Cells fields sum exactly to the region size. NTiles is the width of the
+// tile wavefront at t, which bounds the parallelism available to the
+// executor.
+func CPUTileDiagsRect(rows, cols, ct, lo, hi int) []TileDiag {
 	if hi < lo {
 		return nil
 	}
-	nT := (dim + ct - 1) / ct
+	nTr := (rows + ct - 1) / ct
+	nTc := (cols + ct - 1) / ct
 	tLo, tHi := lo/ct, hi/ct
 	out := make([]TileDiag, 0, tHi-tLo+1)
 	for t := tLo; t <= tHi; t++ {
@@ -316,11 +417,11 @@ func CPUTileDiags(dim, ct, lo, hi int) []TileDiag {
 		if cHi > hi {
 			cHi = hi
 		}
-		cells := grid.CellsInDiagRange(dim, cLo, cHi)
+		cells := grid.CellsInDiagRangeRect(rows, cols, cLo, cHi)
 		if cells == 0 {
 			continue
 		}
-		n := min(min(t+1, 2*nT-1-t), nT)
+		n := min(min(t+1, nTr+nTc-1-t), min(nTr, nTc))
 		if n < 1 {
 			n = 1
 		}

@@ -12,6 +12,13 @@
 //   - the machine-learned autotuner: train on the synthetic application,
 //     deploy on unseen applications (Train, Tuner.Predict).
 //
+// Grids may be square (the paper's dim x dim experiments; NewGrid,
+// InstanceOf) or rectangular (rows x cols; NewRectGrid, RectInstanceOf,
+// SimulateRect) — the natural shape for aligning two sequences of unequal
+// length, where the anti-diagonal parallelism profile is trapezoidal
+// rather than triangular. Every execution path (serial, tiled-parallel,
+// estimator, simulator, exhaustive search) accepts both shapes.
+//
 // The types are aliases of the internal implementation packages, so the
 // public surface stays small while examples and downstream code never
 // import repro/internal/... directly.
@@ -29,7 +36,7 @@ import (
 	"repro/internal/plan"
 )
 
-// Grid is a square wavefront array (two int64 variables plus DSize
+// Grid is a rectangular wavefront array (two int64 variables plus DSize
 // float64 values per cell).
 type Grid = grid.Grid
 
@@ -39,7 +46,7 @@ type Grid = grid.Grid
 type Kernel = kernels.Kernel
 
 // Instance describes a problem instance by the paper's input parameters
-// (Table 1): Dim, TSize, DSize.
+// (Table 1): Dim (or Rows/Cols for rectangular shapes), TSize, DSize.
 type Instance = plan.Instance
 
 // Params is a setting of the paper's tunable parameters (Table 2):
@@ -67,8 +74,12 @@ type Prediction = core.Prediction
 // TrainOptions configure tuner training.
 type TrainOptions = core.TrainOptions
 
-// NewGrid allocates a dim x dim grid with dsize floats per cell.
+// NewGrid allocates a square dim x dim grid with dsize floats per cell.
 func NewGrid(dim, dsize int) *Grid { return grid.New(dim, dsize) }
+
+// NewRectGrid allocates a rectangular rows x cols grid with dsize floats
+// per cell.
+func NewRectGrid(rows, cols, dsize int) *Grid { return grid.NewRect(rows, cols, dsize) }
 
 // NewSynthetic returns the paper's synthetic training kernel with the
 // given granularity (iterations) and data size (floats per cell).
@@ -97,9 +108,15 @@ func Systems() []System { return hw.Systems() }
 func SystemByName(name string) (System, bool) { return hw.ByName(name) }
 
 // InstanceOf derives the paper-scale instance parameters for running
-// kernel k at the given dimension.
+// kernel k at the given (square) dimension.
 func InstanceOf(dim int, k Kernel) Instance {
 	return Instance{Dim: dim, TSize: k.TSize(), DSize: k.DSize()}
+}
+
+// RectInstanceOf derives the instance parameters for running kernel k on
+// a rectangular rows x cols grid.
+func RectInstanceOf(rows, cols int, k Kernel) Instance {
+	return Instance{Rows: rows, Cols: cols, TSize: k.TSize(), DSize: k.DSize()}
 }
 
 // RunSerial computes the grid with k on one host core and returns the
@@ -122,8 +139,13 @@ func RunParallel(k Kernel, g *Grid, cpuTile, workers int) (time.Duration, error)
 // CPUOnly returns the all-CPU configuration with the given tile.
 func CPUOnly(cpuTile int) Params { return engine.CPUOnlyParams(cpuTile) }
 
-// GPUOnly returns the full single-GPU offload configuration.
+// GPUOnly returns the full single-GPU offload configuration for a square
+// dim-sized instance.
 func GPUOnly(dim int) Params { return engine.GPUOnlyParams(dim) }
+
+// GPUOnlyFor returns the full single-GPU offload configuration for an
+// instance of any shape.
+func GPUOnlyFor(inst Instance) Params { return engine.GPUOnlyParamsFor(inst) }
 
 // Estimate models a run of inst with parameters par on sys and returns
 // virtual time and breakdown without computing data.
@@ -136,6 +158,11 @@ func Estimate(sys System, inst Instance, par Params) (Result, error) {
 // result carries the virtual time of the three-phase hybrid execution.
 func Simulate(sys System, dim int, k Kernel, par Params) (Result, *Grid, error) {
 	return engine.Simulate(sys, dim, k, par)
+}
+
+// SimulateRect is Simulate over a rectangular rows x cols grid.
+func SimulateRect(sys System, rows, cols int, k Kernel, par Params) (Result, *Grid, error) {
+	return engine.SimulateRect(sys, rows, cols, k, par)
 }
 
 // SerialSeconds returns the modeled optimized sequential baseline in
