@@ -1,0 +1,102 @@
+// Command waved is the tuning daemon: it serves tuned wavefront
+// configurations over HTTP ("tuning as a service"). Predictions are
+// cached per (system, instance) with concurrent misses deduplicated, so
+// heavy traffic asking for the same workloads costs one tuner evaluation
+// per distinct instance. Tuners are resolved lazily per system: loaded
+// from -tuners dir when given (files written by wavetrain -save),
+// otherwise trained on first use.
+//
+// Usage:
+//
+//	waved [-addr :8080] [-systems i7-2600K,i3-540] [-tuners dir]
+//	      [-cache 512] [-cache-file plans.json] [-full]
+//
+// Endpoints:
+//
+//	POST /v1/tune     {"system":"i7-2600K","dim":1900,"app":"nash","rounds":2}
+//	GET  /v1/systems  served systems and tuner states
+//	GET  /v1/stats    cache and request counters
+//	GET  /healthz     liveness probe
+//
+// SIGINT/SIGTERM shut the server down gracefully; with -cache-file the
+// plan cache is persisted on shutdown and warmed on the next start.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/wavefront"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("waved: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	systems := flag.String("systems", "", "comma-separated systems to serve (default: all Table 4 systems)")
+	tunersDir := flag.String("tuners", "", "directory of <system>.json tuner files (default: train lazily)")
+	cacheSize := flag.Int("cache", 0, "plan-cache capacity (0 = default)")
+	cacheFile := flag.String("cache-file", "", "persist the plan cache to this file across restarts")
+	full := flag.Bool("full", false, "train lazily on the full Table 3 space instead of the quick one")
+	flag.Parse()
+
+	cfg := wavefront.TuningConfig{
+		CacheSize: *cacheSize,
+		CachePath: *cacheFile,
+		Logf:      log.Printf,
+	}
+	if *systems != "" {
+		for _, name := range strings.Split(*systems, ",") {
+			name = strings.TrimSpace(name)
+			sys, ok := wavefront.SystemByName(name)
+			if !ok {
+				log.Fatalf("unknown system %q", name)
+			}
+			cfg.Systems = append(cfg.Systems, sys)
+		}
+	}
+	switch {
+	case *tunersDir != "" && *full:
+		log.Fatal("-full trains tuners lazily and conflicts with -tuners; pass one or the other")
+	case *tunersDir != "":
+		cfg.Tuners = wavefront.NewDirTunerSource(*tunersDir)
+	case *full:
+		cfg.Tuners = wavefront.NewTrainingTunerSource(wavefront.TrainingSourceOptions{
+			Space: wavefront.DefaultSpace(),
+		})
+	}
+
+	srv, err := wavefront.NewTuningServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- srv.ListenAndServe(*addr) }()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+		log.Printf("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,6 +1,6 @@
 // Package repro is a reproduction of "Autotuning Wavefront Applications
 // for Multicore Multi-GPU Hybrid Architectures" (Mohanty and Cole,
-// PMAM 2014, DOI 10.1145/2560683.2560689).
+// PMAM '14, co-located with PPoPP 2014, DOI 10.1145/2560683.2560689).
 //
 // The public API lives in repro/wavefront; the substrates (grid,
 // kernels, discrete-event simulator, simulated OpenCL runtime, machine
@@ -16,5 +16,7 @@
 //
 //	go build ./... && go test ./...
 //
-// See README.md for an overview and the rectangular-grid API.
+// See README.md for an overview, the rectangular-grid API and the
+// tuning daemon (cmd/waved), and ARCHITECTURE.md for the layer diagram
+// and the package-to-paper map.
 package repro

@@ -1,7 +1,7 @@
-// Hybrid: a full three-phase run on a modeled dual-GPU system, showing
-// the phase structure, halo swaps and cost breakdown of Section 2's
-// implementation strategy — and that the functional simulation computes
-// exactly the serial result.
+// Command hybrid demonstrates a full three-phase run on a modeled
+// dual-GPU system, showing the phase structure, halo swaps and cost
+// breakdown of Section 2's implementation strategy — and that the
+// functional simulation computes exactly the serial result.
 package main
 
 import (

@@ -1,4 +1,4 @@
-// Nash: autotune the paper's coarse-grained game-theoretic application.
+// Command nash autotunes the paper's coarse-grained game-theoretic application.
 // An exhaustive search of the synthetic application trains the tuner
 // "in the factory"; deployment then predicts tuned parameters for unseen
 // Nash instances and compares them against the simple schemes

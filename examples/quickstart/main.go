@@ -1,5 +1,5 @@
-// Quickstart: define a wavefront computation and run it on the host CPU,
-// serially and tile-parallel, through the public API.
+// Command quickstart defines a wavefront computation and runs it on the
+// host CPU, serially and tile-parallel, through the public API.
 package main
 
 import (

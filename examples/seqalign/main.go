@@ -1,4 +1,4 @@
-// Seqalign: the paper's fine-grained biological sequence comparison
+// Command seqalign runs the paper's fine-grained biological sequence comparison
 // application (Smith–Waterman local alignment). Real alignments compare
 // sequences of unequal length, so the score matrix is rectangular: a
 // query of m bases against a reference of n bases is an m x n wavefront

@@ -21,14 +21,9 @@ import (
 const searchCSVHeader = "system,dim,tsize,dsize,cpu_tile,band,gpu_tile,halo,rtime_ns,censored"
 
 // shapeField renders the dim column: a bare integer for square instances
-// (the original format) and "rowsxcols" for rectangular ones.
-func shapeField(inst plan.Instance) string {
-	if rows, cols := inst.Shape(); rows != cols {
-		return fmt.Sprintf("%dx%d", rows, cols)
-	}
-	rows, _ := inst.Shape()
-	return strconv.Itoa(rows)
-}
+// (the original format) and "rowsxcols" for rectangular ones. The
+// spelling is shared with plan-cache keys via Instance.ShapeString.
+func shapeField(inst plan.Instance) string { return inst.ShapeString() }
 
 // parseShapeField inverts shapeField into an instance shape.
 func parseShapeField(s string) (plan.Instance, error) {

@@ -215,6 +215,20 @@ func clampTile(ct, dim int) int {
 	return ct
 }
 
+// PredictTimed predicts tuned settings for inst and returns them together
+// with the modeled runtime of the decision and the serial baseline, both
+// in nanoseconds. It is the single-call deployment hook used by the plan
+// cache and the tuning service: one invocation per cache miss yields
+// everything a caller needs to act on (and report) the decision.
+func (t *Tuner) PredictTimed(inst plan.Instance) (Prediction, float64, float64, error) {
+	pred := t.Predict(inst)
+	rtime, err := t.RTimeFor(inst, pred)
+	if err != nil {
+		return Prediction{}, 0, 0, err
+	}
+	return pred, rtime, engine.SerialNs(t.Sys, inst), nil
+}
+
 // RTimeFor returns the modeled runtime of a prediction on the tuner's
 // system: the serial baseline when the gate said serial, otherwise the
 // estimated hybrid runtime.

@@ -6,6 +6,7 @@ package plan
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/grid"
 )
@@ -104,6 +105,28 @@ func (in Instance) Normalize() Instance {
 
 // ElemBytes returns the modeled element size of the instance.
 func (in Instance) ElemBytes() int { return grid.ElemBytes(in.DSize) }
+
+// ShapeString renders the shape in the search-CSV spelling: a bare
+// integer for square instances ("1900") and "rowsxcols" for rectangular
+// ones ("600x1400").
+func (in Instance) ShapeString() string {
+	rows, cols := in.Shape()
+	if rows != cols {
+		return fmt.Sprintf("%dx%d", rows, cols)
+	}
+	return fmt.Sprintf("%d", rows)
+}
+
+// CacheKey returns a stable canonical encoding of the instance for use as
+// a plan-cache key. Equivalent spellings collide: Dim=n and Rows=Cols=n
+// produce the same key, and the shape field matches ShapeString (and thus
+// the search-CSV dim column). TSize uses the shortest exact float
+// rendering, so keys are reproducible across processes.
+func (in Instance) CacheKey() string {
+	n := in.Normalize()
+	return fmt.Sprintf("%s|t=%s|d=%d",
+		n.ShapeString(), strconv.FormatFloat(n.TSize, 'g', -1, 64), n.DSize)
+}
 
 // Validate reports whether the instance is well-formed.
 func (in Instance) Validate() error {

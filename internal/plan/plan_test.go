@@ -272,3 +272,35 @@ func TestInstanceString(t *testing.T) {
 		t.Errorf("Params.String = %q", ps)
 	}
 }
+
+func TestShapeStringAndCacheKey(t *testing.T) {
+	cases := []struct {
+		in    Instance
+		shape string
+		key   string
+	}{
+		{Instance{Dim: 1900, TSize: 750, DSize: 4}, "1900", "1900|t=750|d=4"},
+		{Instance{Rows: 1900, Cols: 1900, TSize: 750, DSize: 4}, "1900", "1900|t=750|d=4"},
+		{Instance{Rows: 600, Cols: 1400, TSize: 0.5, DSize: 0}, "600x1400", "600x1400|t=0.5|d=0"},
+		{Instance{Dim: 500, TSize: 12000, DSize: 1}, "500", "500|t=12000|d=1"},
+	}
+	for _, tc := range cases {
+		if got := tc.in.ShapeString(); got != tc.shape {
+			t.Errorf("%v.ShapeString() = %q, want %q", tc.in, got, tc.shape)
+		}
+		if got := tc.in.CacheKey(); got != tc.key {
+			t.Errorf("%v.CacheKey() = %q, want %q", tc.in, got, tc.key)
+		}
+	}
+	// The two spellings of a square must collide, and distinct instances
+	// must not.
+	sq := Instance{Dim: 700, TSize: 10, DSize: 1}
+	rc := Instance{Rows: 700, Cols: 700, TSize: 10, DSize: 1}
+	if sq.CacheKey() != rc.CacheKey() {
+		t.Errorf("square spellings differ: %q vs %q", sq.CacheKey(), rc.CacheKey())
+	}
+	other := Instance{Dim: 700, TSize: 10, DSize: 2}
+	if sq.CacheKey() == other.CacheKey() {
+		t.Errorf("distinct instances collide on %q", sq.CacheKey())
+	}
+}

@@ -1,0 +1,454 @@
+// Package service exposes the autotuner as a long-running HTTP daemon:
+// "tuning as a service". A client POSTs an application instance (system,
+// shape, granularity) to /v1/tune and receives the tuned parameters with
+// their modeled runtimes; the paper's "train once, predict per instance"
+// deployment thereby becomes a request/response protocol. Predictions
+// are served through a tunecache.Cache, so repeated and concurrent
+// requests for one workload cost a single tuner evaluation, and tuners
+// themselves are loaded (or trained) lazily per system on first use.
+//
+// Endpoints:
+//
+//	POST /v1/tune     predict tuned Params for an instance (cache-backed)
+//	GET  /v1/systems  list the served systems and tuner states
+//	GET  /v1/stats    cache counters, request counters, uptime
+//	GET  /healthz     liveness probe
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/hw"
+	"repro/internal/kernels"
+	"repro/internal/plan"
+	"repro/internal/tunecache"
+)
+
+// Config configures a tuning server. The zero value serves every Table 4
+// system with lazily trained quick-space tuners and a default-sized
+// cache.
+type Config struct {
+	// Systems are the platforms served; empty selects hw.Systems().
+	Systems []hw.System
+	// Tuners resolves the tuner for a system on first use; nil selects
+	// NewTrainingSource over the quick search space.
+	Tuners TunerSource
+	// CacheSize bounds the plan cache (<= 0 selects the tunecache
+	// default).
+	CacheSize int
+	// CachePath, when set, warms the cache from this file at startup (if
+	// it exists) and writes it back on Shutdown.
+	CachePath string
+	// Logf receives request-path log lines; nil disables logging.
+	Logf func(format string, args ...any)
+}
+
+// Server is the tuning daemon: an http.Handler plus the plan cache and
+// lazily resolved per-system tuners behind it.
+type Server struct {
+	cfg     Config
+	systems map[string]hw.System
+	tuners  TunerSource
+	cache   *tunecache.Cache
+	mux     *http.ServeMux
+	start   time.Time
+
+	httpMu   sync.Mutex
+	httpSrv  *http.Server
+	shutDown bool
+
+	tuneReqs   atomic.Uint64
+	statsReqs  atomic.Uint64
+	sysReqs    atomic.Uint64
+	healthReqs atomic.Uint64
+	badReqs    atomic.Uint64
+}
+
+// New builds a server from cfg.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Systems) == 0 {
+		cfg.Systems = hw.Systems()
+	}
+	if cfg.Tuners == nil {
+		cfg.Tuners = NewTrainingSource(TrainingSourceOptions{})
+	}
+	s := &Server{
+		cfg:     cfg,
+		systems: make(map[string]hw.System, len(cfg.Systems)),
+		tuners:  cfg.Tuners,
+		start:   time.Now(),
+	}
+	for _, sys := range cfg.Systems {
+		if sys.Name == "" {
+			return nil, fmt.Errorf("service: system with empty name")
+		}
+		if _, dup := s.systems[sys.Name]; dup {
+			return nil, fmt.Errorf("service: duplicate system %q", sys.Name)
+		}
+		s.systems[sys.Name] = sys
+	}
+	s.cache = tunecache.New(cfg.CacheSize, s.predict)
+	if cfg.CachePath != "" {
+		if n, err := s.cache.LoadFile(cfg.CachePath); err == nil {
+			s.logf("warmed cache with %d plans from %s", n, cfg.CachePath)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			// The cache file is an optimization, not a dependency: a
+			// corrupt or stale-format file must not keep the daemon from
+			// starting. Serve cold and overwrite it on shutdown.
+			s.logf("ignoring unreadable cache file %s: %v", cfg.CachePath, err)
+		}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/tune", s.handleTune)
+	s.mux.HandleFunc("/v1/systems", s.handleSystems)
+	s.mux.HandleFunc("/v1/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Cache returns the plan cache (counters, persistence).
+func (s *Server) Cache() *tunecache.Cache { return s.cache }
+
+// Handler returns the HTTP handler tree, for mounting under httptest or a
+// caller-owned http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// predict is the cache's miss path: resolve the system's tuner (loading
+// or training it on first use) and evaluate it once.
+func (s *Server) predict(system string, inst plan.Instance) (tunecache.Plan, error) {
+	sys, ok := s.systems[system]
+	if !ok {
+		return tunecache.Plan{}, fmt.Errorf("service: unknown system %q", system)
+	}
+	t, err := s.tuners.Tuner(sys)
+	if err != nil {
+		return tunecache.Plan{}, fmt.Errorf("service: tuner for %s: %w", system, err)
+	}
+	pred, rtime, serial, err := t.PredictTimed(inst)
+	if err != nil {
+		return tunecache.Plan{}, err
+	}
+	return tunecache.Plan{Serial: pred.Serial, Par: pred.Par, RTimeNs: rtime, SerialNs: serial}, nil
+}
+
+// TuneRequest is the body of POST /v1/tune. The instance shape is either
+// square (dim) or rectangular (rows and cols). Granularity comes either
+// from explicit tsize/dsize or from a named application (app "nash" with
+// optional rounds, "seqcompare", "knapsack"); explicit values win.
+type TuneRequest struct {
+	System string `json:"system"`
+	Dim    int    `json:"dim,omitempty"`
+	Rows   int    `json:"rows,omitempty"`
+	Cols   int    `json:"cols,omitempty"`
+
+	App    string   `json:"app,omitempty"`
+	Rounds int      `json:"rounds,omitempty"`
+	TSize  *float64 `json:"tsize,omitempty"`
+	DSize  *int     `json:"dsize,omitempty"`
+}
+
+// TuneParams is the tuned parameter setting in the response, decoded
+// into the paper's five Table 2 parameters.
+type TuneParams struct {
+	CPUTile  int `json:"cpu_tile"`
+	Band     int `json:"band"`
+	GPUCount int `json:"gpu_count"`
+	GPUTile  int `json:"gpu_tile"`
+	Halo     int `json:"halo"`
+}
+
+// TuneInstance echoes the normalized instance the prediction is for.
+type TuneInstance struct {
+	Rows  int     `json:"rows"`
+	Cols  int     `json:"cols"`
+	TSize float64 `json:"tsize"`
+	DSize int     `json:"dsize"`
+}
+
+// TuneResponse is the body of a successful POST /v1/tune.
+type TuneResponse struct {
+	System   string       `json:"system"`
+	Instance TuneInstance `json:"instance"`
+	// Serial is true when the parallelism gate chose the sequential
+	// baseline; Params then carries the fallback CPU tiling.
+	Serial bool       `json:"serial"`
+	Params TuneParams `json:"params"`
+	// RTimeSec is the modeled runtime of the decision; SerialSec the
+	// modeled sequential baseline; Speedup their ratio.
+	RTimeSec  float64 `json:"rtime_sec"`
+	SerialSec float64 `json:"serial_sec"`
+	Speedup   float64 `json:"speedup"`
+	// Cache reports how the request was served: "hit", "miss" or
+	// "coalesced".
+	Cache string `json:"cache"`
+}
+
+// errorResponse is the body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	s.badReqs.Add(1)
+	s.writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// maxServedSide caps the accepted instance side length. The paper's
+// largest instance is dim 3100; the cap leaves three orders of magnitude
+// of headroom while keeping per-request work (and the knapsack kernel's
+// O(dim) weight table) bounded against abusive shapes.
+const maxServedSide = 1 << 20
+
+// instanceFrom validates a request and builds the plan.Instance.
+func (r TuneRequest) instanceFrom() (plan.Instance, error) {
+	inst := plan.Instance{Dim: r.Dim, Rows: r.Rows, Cols: r.Cols}
+	// Check the shape before the app switch: the knapsack case sizes its
+	// kernel from it, so an unvalidated negative or huge side must not
+	// get that far.
+	if rows, cols := inst.Shape(); rows < 1 || cols < 1 {
+		return inst, fmt.Errorf("shape %dx%d invalid", rows, cols)
+	}
+	if inst.MaxSide() > maxServedSide {
+		return inst, fmt.Errorf("side %d exceeds the service limit %d", inst.MaxSide(), maxServedSide)
+	}
+	switch r.App {
+	case "":
+		if r.TSize == nil || r.DSize == nil {
+			return inst, fmt.Errorf("either app or both tsize and dsize are required")
+		}
+	case "nash":
+		rounds := r.Rounds
+		if rounds <= 0 {
+			rounds = 1
+		}
+		k := kernels.NewNash(rounds)
+		inst.TSize, inst.DSize = k.TSize(), k.DSize()
+	case "seqcompare":
+		k := kernels.NewSeqCompare()
+		inst.TSize, inst.DSize = k.TSize(), k.DSize()
+	case "knapsack":
+		// The knapsack granularity parameters are shape-independent, so a
+		// unit-sized kernel avoids building the O(dim) weight table on
+		// every request.
+		k := kernels.NewKnapsack(1)
+		inst.TSize, inst.DSize = k.TSize(), k.DSize()
+	case "synthetic":
+		if r.TSize == nil || r.DSize == nil {
+			return inst, fmt.Errorf("app %q requires explicit tsize and dsize", r.App)
+		}
+	default:
+		return inst, fmt.Errorf("unknown app %q (want nash, seqcompare, knapsack or synthetic)", r.App)
+	}
+	if r.TSize != nil {
+		inst.TSize = *r.TSize
+	}
+	if r.DSize != nil {
+		inst.DSize = *r.DSize
+	}
+	if err := inst.Validate(); err != nil {
+		return inst, err
+	}
+	return inst.Normalize(), nil
+}
+
+func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	s.tuneReqs.Add(1)
+	var req TuneRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		s.writeError(w, http.StatusBadRequest, "unexpected data after request body")
+		return
+	}
+	if req.System == "" {
+		s.writeError(w, http.StatusBadRequest, "system is required")
+		return
+	}
+	if _, ok := s.systems[req.System]; !ok {
+		s.writeError(w, http.StatusNotFound, "unknown system %q", req.System)
+		return
+	}
+	inst, err := req.instanceFrom()
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, "invalid instance: %v", err)
+		return
+	}
+
+	p, outcome, err := s.cache.Get(req.System, inst)
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, "tuning failed: %v", err)
+		return
+	}
+	rows, cols := inst.Shape()
+	resp := TuneResponse{
+		System:   req.System,
+		Instance: TuneInstance{Rows: rows, Cols: cols, TSize: inst.TSize, DSize: inst.DSize},
+		Serial:   p.Serial,
+		Params: TuneParams{
+			CPUTile: p.Par.CPUTile, Band: p.Par.Band, GPUCount: p.Par.GPUCount(),
+			GPUTile: p.Par.GPUTile, Halo: p.Par.Halo,
+		},
+		RTimeSec:  p.RTimeNs / 1e9,
+		SerialSec: p.SerialNs / 1e9,
+		Cache:     outcome.String(),
+	}
+	if p.RTimeNs > 0 {
+		resp.Speedup = p.SerialNs / p.RTimeNs
+	}
+	s.logf("tune %s %s -> %s (%s)", req.System, inst, p.Par, outcome)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// SystemInfo describes one served system in GET /v1/systems.
+type SystemInfo struct {
+	Name    string   `json:"name"`
+	Cores   int      `json:"cores"`
+	GPUs    []string `json:"gpus"`
+	MaxGPUs int      `json:"max_gpus"`
+	// Tuner is "ready" once the system's tuner has been loaded or
+	// trained, else "lazy".
+	Tuner string `json:"tuner"`
+}
+
+func (s *Server) handleSystems(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.sysReqs.Add(1)
+	infos := make([]SystemInfo, 0, len(s.cfg.Systems))
+	for _, sys := range s.cfg.Systems {
+		info := SystemInfo{
+			Name: sys.Name, Cores: sys.CPU.Cores, MaxGPUs: sys.MaxGPUs(),
+			GPUs: make([]string, 0, len(sys.GPUs)), Tuner: "lazy",
+		}
+		for _, g := range sys.GPUs {
+			info.GPUs = append(info.GPUs, g.Name)
+		}
+		if ready, ok := s.tuners.(ReadyReporter); ok && ready.Ready(sys.Name) {
+			info.Tuner = "ready"
+		}
+		infos = append(infos, info)
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"systems": infos})
+}
+
+// StatsResponse is the body of GET /v1/stats.
+type StatsResponse struct {
+	UptimeSec float64           `json:"uptime_sec"`
+	Cache     tunecache.Stats   `json:"cache"`
+	Requests  map[string]uint64 `json:"requests"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		s.writeError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.statsReqs.Add(1)
+	s.writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSec: time.Since(s.start).Seconds(),
+		Cache:     s.cache.Stats(),
+		Requests: map[string]uint64{
+			"tune":    s.tuneReqs.Load(),
+			"systems": s.sysReqs.Load(),
+			"stats":   s.statsReqs.Load(),
+			"healthz": s.healthReqs.Load(),
+			"errors":  s.badReqs.Load(),
+		},
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.healthReqs.Add(1)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// ListenAndServe binds addr and serves until Shutdown. It returns nil
+// after a clean shutdown (http.ErrServerClosed is swallowed).
+func (s *Server) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	return s.Serve(l)
+}
+
+// Serve serves on l until Shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	srv := &http.Server{Handler: s.mux}
+	s.httpMu.Lock()
+	if s.shutDown {
+		// Shutdown already ran (e.g. a signal raced ahead of the serve
+		// goroutine); don't start a server nothing will ever stop.
+		s.httpMu.Unlock()
+		l.Close()
+		return nil
+	}
+	s.httpSrv = srv
+	s.httpMu.Unlock()
+	s.logf("serving on %s", l.Addr())
+	if err := srv.Serve(l); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+// Shutdown gracefully stops an active Serve/ListenAndServe (in-flight
+// requests drain until ctx expires) and, when Config.CachePath is set,
+// persists the plan cache so the next start is warm.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	s.httpMu.Lock()
+	srv := s.httpSrv
+	s.shutDown = true
+	s.httpMu.Unlock()
+	if srv != nil {
+		err = srv.Shutdown(ctx)
+	}
+	if s.cfg.CachePath != "" {
+		if serr := s.cache.SaveFile(s.cfg.CachePath); serr != nil {
+			s.logf("failed to save plan cache to %s: %v", s.cfg.CachePath, serr)
+			err = errors.Join(err, serr)
+		} else {
+			s.logf("saved %d cached plans to %s", s.cache.Len(), s.cfg.CachePath)
+		}
+	}
+	return err
+}

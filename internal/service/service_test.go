@@ -1,0 +1,510 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+)
+
+// testTuner trains one shared tiny-space tuner per test binary run.
+var (
+	tunerOnce sync.Once
+	testTun   *core.Tuner
+	tunerErr  error
+)
+
+func tinyTuner(t *testing.T) *core.Tuner {
+	t.Helper()
+	tunerOnce.Do(func() {
+		space := core.Space{
+			Dims:      []int{300, 700, 1500},
+			TSizes:    []float64{10, 200, 3000},
+			DSizes:    []int{1, 5},
+			CPUTiles:  []int{1, 8},
+			BandFracs: []float64{-1, 0.5, 1.0},
+			HaloFracs: []float64{-1, 0, 1.0},
+			GPUTiles:  []int{1, 8},
+		}
+		sr, err := core.Exhaustive(hw.I7_2600K(), space, core.SearchOptions{})
+		if err != nil {
+			tunerErr = err
+			return
+		}
+		testTun, tunerErr = core.Train(sr, core.DefaultTrainOptions())
+	})
+	if tunerErr != nil {
+		t.Fatal(tunerErr)
+	}
+	return testTun
+}
+
+// countingSource counts tuner resolutions. The server resolves the tuner
+// exactly once per cache miss (inside the singleflight), so the count
+// equals the number of underlying predict evaluations.
+type countingSource struct {
+	inner TunerSource
+	calls atomic.Int64
+}
+
+func (c *countingSource) Tuner(sys hw.System) (*core.Tuner, error) {
+	c.calls.Add(1)
+	return c.inner.Tuner(sys)
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server, *countingSource) {
+	t.Helper()
+	src := &countingSource{inner: NewStaticSource(tinyTuner(t))}
+	if cfg.Tuners == nil {
+		cfg.Tuners = src
+	}
+	if len(cfg.Systems) == 0 {
+		cfg.Systems = []hw.System{hw.I7_2600K()}
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, src
+}
+
+func postTune(t *testing.T, url string, body string) (TuneResponse, *http.Response) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/tune", "application/json", bytes.NewReader([]byte(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tr TuneResponse
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return tr, resp
+}
+
+func getStats(t *testing.T, url string) StatsResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/stats status %d", resp.StatusCode)
+	}
+	var sr StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+// TestTuneColdHitAndStats is the acceptance path: a cold request
+// triggers exactly one predict, a repeat is a cache hit, and /v1/stats
+// counters prove both.
+func TestTuneColdHitAndStats(t *testing.T) {
+	_, ts, src := newTestServer(t, Config{})
+	body := `{"system":"i7-2600K","dim":1900,"tsize":750,"dsize":4}`
+
+	tr, resp := postTune(t, ts.URL, body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold status %d", resp.StatusCode)
+	}
+	if tr.Cache != "miss" {
+		t.Errorf("cold request cache = %q, want miss", tr.Cache)
+	}
+	if tr.Instance.Rows != 1900 || tr.Instance.Cols != 1900 {
+		t.Errorf("instance echo wrong: %+v", tr.Instance)
+	}
+	if !tr.Serial && tr.Params.CPUTile < 1 {
+		t.Errorf("invalid params: %+v", tr.Params)
+	}
+	if tr.RTimeSec <= 0 || tr.SerialSec <= 0 {
+		t.Errorf("runtimes not reported: %+v", tr)
+	}
+	if got := src.calls.Load(); got != 1 {
+		t.Fatalf("cold request resolved the tuner %d times, want exactly 1", got)
+	}
+	st := getStats(t, ts.URL)
+	if st.Cache.Misses != 1 || st.Cache.Hits != 0 {
+		t.Fatalf("stats after cold = %+v, want 1 miss 0 hits", st.Cache)
+	}
+
+	tr2, _ := postTune(t, ts.URL, body)
+	if tr2.Cache != "hit" {
+		t.Errorf("repeat cache = %q, want hit", tr2.Cache)
+	}
+	if tr2.Params != tr.Params || tr2.Serial != tr.Serial {
+		t.Errorf("hit returned different decision: %+v vs %+v", tr2, tr)
+	}
+	if got := src.calls.Load(); got != 1 {
+		t.Errorf("repeat request re-resolved the tuner (%d calls)", got)
+	}
+	st = getStats(t, ts.URL)
+	if st.Cache.Misses != 1 || st.Cache.Hits != 1 {
+		t.Errorf("stats after repeat = %+v, want 1 miss 1 hit", st.Cache)
+	}
+	if st.Requests["tune"] != 2 {
+		t.Errorf("tune request counter = %d, want 2", st.Requests["tune"])
+	}
+}
+
+// TestConcurrentIdenticalRequestsDedupe: N concurrent identical requests
+// must produce exactly one underlying tuner evaluation.
+func TestConcurrentIdenticalRequestsDedupe(t *testing.T) {
+	_, ts, src := newTestServer(t, Config{})
+	const n = 24
+	body := `{"system":"i7-2600K","rows":600,"cols":1400,"app":"seqcompare"}`
+
+	var wg sync.WaitGroup
+	var decisions sync.Map
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, resp := postTune(t, ts.URL, body)
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			decisions.Store(i, tr.Params)
+		}(i)
+	}
+	wg.Wait()
+
+	if got := src.calls.Load(); got != 1 {
+		t.Errorf("concurrent requests made %d tuner calls, want exactly 1", got)
+	}
+	st := getStats(t, ts.URL)
+	if st.Cache.Misses != 1 {
+		t.Errorf("misses = %d, want 1 (hits %d, coalesced %d)",
+			st.Cache.Misses, st.Cache.Hits, st.Cache.Coalesced)
+	}
+	if st.Cache.Lookups() != n {
+		t.Errorf("lookups = %d, want %d", st.Cache.Lookups(), n)
+	}
+	var first any
+	decisions.Range(func(_, v any) bool {
+		if first == nil {
+			first = v
+		} else if v != first {
+			t.Errorf("divergent decisions: %+v vs %+v", v, first)
+		}
+		return true
+	})
+}
+
+func TestValidation(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		body string
+		code int
+	}{
+		{"bad json", `{`, http.StatusBadRequest},
+		{"trailing garbage", `{"system":"i7-2600K","dim":700,"tsize":10,"dsize":1} {"x":1}`, http.StatusBadRequest},
+		{"unknown field", `{"system":"i7-2600K","dim":10,"tsize":1,"dsize":1,"bogus":1}`, http.StatusBadRequest},
+		{"missing system", `{"dim":500,"tsize":10,"dsize":1}`, http.StatusBadRequest},
+		{"unknown system", `{"system":"riscv","dim":500,"tsize":10,"dsize":1}`, http.StatusNotFound},
+		{"missing granularity", `{"system":"i7-2600K","dim":500}`, http.StatusBadRequest},
+		{"unknown app", `{"system":"i7-2600K","dim":500,"app":"raytrace"}`, http.StatusBadRequest},
+		{"zero shape", `{"system":"i7-2600K","tsize":10,"dsize":1}`, http.StatusBadRequest},
+		{"negative knapsack dim", `{"system":"i7-2600K","dim":-5,"app":"knapsack"}`, http.StatusBadRequest},
+		{"huge knapsack dim", `{"system":"i7-2600K","dim":100000000000,"app":"knapsack"}`, http.StatusBadRequest},
+		{"huge rect", `{"system":"i7-2600K","rows":600,"cols":2000000,"tsize":10,"dsize":1}`, http.StatusBadRequest},
+		{"negative dsize", `{"system":"i7-2600K","dim":500,"tsize":10,"dsize":-1}`, http.StatusBadRequest},
+		{"inconsistent shape", `{"system":"i7-2600K","dim":500,"rows":600,"cols":700,"tsize":10,"dsize":1}`, http.StatusBadRequest},
+		{"nash app ok", `{"system":"i7-2600K","dim":700,"app":"nash","rounds":2}`, http.StatusOK},
+		{"explicit override ok", `{"system":"i7-2600K","dim":700,"app":"nash","tsize":9000,"dsize":1}`, http.StatusOK},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, resp := postTune(t, ts.URL, tc.body)
+			if resp.StatusCode != tc.code {
+				t.Errorf("status = %d, want %d", resp.StatusCode, tc.code)
+			}
+		})
+	}
+
+	// Method checks.
+	resp, err := http.Get(ts.URL + "/v1/tune")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/tune status = %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/v1/stats", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/stats status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestSystemsAndHealth(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/systems")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Systems []SystemInfo `json:"systems"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Systems) != 1 || body.Systems[0].Name != "i7-2600K" {
+		t.Fatalf("systems = %+v", body.Systems)
+	}
+	if body.Systems[0].MaxGPUs != 2 || len(body.Systems[0].GPUs) != 2 {
+		t.Errorf("GPU description wrong: %+v", body.Systems[0])
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status %d", hresp.StatusCode)
+	}
+	b, _ := io.ReadAll(hresp.Body)
+	if string(b) != "ok\n" {
+		t.Errorf("/healthz body %q", b)
+	}
+}
+
+// TestCachePersistsAcrossRestarts: a server with CachePath saves its
+// plans on Shutdown, and a fresh server over the same path serves the
+// first request as a hit.
+func TestCachePersistsAcrossRestarts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.json")
+	body := `{"system":"i7-2600K","dim":1500,"tsize":3000,"dsize":1}`
+
+	s1, ts1, _ := newTestServer(t, Config{CachePath: path})
+	if tr, _ := postTune(t, ts1.URL, body); tr.Cache != "miss" {
+		t.Fatalf("first-generation request = %q, want miss", tr.Cache)
+	}
+	if err := s1.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts2, src2 := newTestServer(t, Config{CachePath: path})
+	tr, _ := postTune(t, ts2.URL, body)
+	if tr.Cache != "hit" {
+		t.Errorf("post-restart request = %q, want hit", tr.Cache)
+	}
+	if src2.calls.Load() != 0 {
+		t.Errorf("warm start still resolved the tuner %d times", src2.calls.Load())
+	}
+}
+
+func TestLazyTrainingSource(t *testing.T) {
+	// The real default path: no tuner files, training on first use.
+	space := core.Space{
+		Dims:      []int{300, 700},
+		TSizes:    []float64{10, 3000},
+		DSizes:    []int{1},
+		CPUTiles:  []int{1, 8},
+		BandFracs: []float64{-1, 1.0},
+		HaloFracs: []float64{-1},
+		GPUTiles:  []int{1},
+	}
+	s, err := New(Config{
+		Systems: []hw.System{hw.I3_540()},
+		Tuners:  NewTrainingSource(TrainingSourceOptions{Space: space}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	tr, resp := postTune(t, ts.URL, `{"system":"i3-540","dim":700,"tsize":3000,"dsize":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if tr.Cache != "miss" {
+		t.Errorf("cache = %q, want miss", tr.Cache)
+	}
+}
+
+func TestDirSource(t *testing.T) {
+	dir := t.TempDir()
+	tun := tinyTuner(t)
+	if err := tun.Save(filepath.Join(dir, tun.Sys.Name+".json")); err != nil {
+		t.Fatal(err)
+	}
+	src := NewDirSource(dir)
+	got, err := src.Tuner(tun.Sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sys.Name != tun.Sys.Name {
+		t.Errorf("loaded tuner for %s, want %s", got.Sys.Name, tun.Sys.Name)
+	}
+	// Missing file: error, remembered.
+	if _, err := src.Tuner(hw.I3_540()); err == nil {
+		t.Error("missing tuner file must fail")
+	}
+	if r, ok := src.(interface{ Ready(string) bool }); ok {
+		if !r.Ready(tun.Sys.Name) {
+			t.Error("loaded system must be ready")
+		}
+		if r.Ready("i3-540") {
+			t.Error("failed system must not be ready")
+		}
+	} else {
+		t.Error("DirSource must expose Ready")
+	}
+}
+
+// TestServeShutdownLifecycle exercises the real-socket path used by
+// waved: Serve on an OS-assigned port, answer a request, shut down
+// gracefully, and observe Serve return nil.
+func TestServeShutdownLifecycle(t *testing.T) {
+	s, err := New(Config{Systems: []hw.System{hw.I7_2600K()}, Tuners: NewStaticSource(tinyTuner(t))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(l) }()
+
+	resp, err := http.Get("http://" + l.Addr().String() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status %d", resp.StatusCode)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Serve returned %v after graceful shutdown", err)
+	}
+}
+
+// TestShutdownBeforeServe: a signal racing ahead of the serve goroutine
+// must not leave an unstoppable server behind — Serve called after
+// Shutdown returns immediately.
+func TestShutdownBeforeServe(t *testing.T) {
+	s, err := New(Config{Systems: []hw.System{hw.I7_2600K()}, Tuners: NewStaticSource(tinyTuner(t))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(l) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Serve after Shutdown = %v, want nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve after Shutdown never returned")
+	}
+}
+
+// TestCorruptCacheFileToleratedAtStartup: the cache file is an
+// optimization; a truncated one must not keep the daemon from starting.
+func TestCorruptCacheFileToleratedAtStartup(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "plans.json")
+	if err := os.WriteFile(path, []byte(`{"version":1,"entr`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{
+		Systems:   []hw.System{hw.I7_2600K()},
+		Tuners:    NewStaticSource(tinyTuner(t)),
+		CachePath: path,
+	})
+	if err != nil {
+		t.Fatalf("corrupt cache file must not fail startup: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if _, resp := postTune(t, ts.URL, `{"system":"i7-2600K","dim":700,"tsize":10,"dsize":1}`); resp.StatusCode != http.StatusOK {
+		t.Errorf("cold-start request status %d", resp.StatusCode)
+	}
+	// Shutdown must repair the file via the atomic rewrite: a fresh
+	// server over the same path starts warm.
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s2, ts2, _ := newTestServer(t, Config{CachePath: path})
+	defer s2.Shutdown(context.Background())
+	if tr, _ := postTune(t, ts2.URL, `{"system":"i7-2600K","dim":700,"tsize":10,"dsize":1}`); tr.Cache != "hit" {
+		t.Errorf("post-repair request = %q, want hit", tr.Cache)
+	}
+}
+
+// TestPanickingResolveSettlesTheSlot: a tuner resolve that panics must
+// settle the slot with an error instead of hanging every later request
+// for the system.
+func TestPanickingResolveSettlesTheSlot(t *testing.T) {
+	src := newLazySource(func(sys hw.System) (*core.Tuner, error) {
+		panic("training exploded")
+	})
+	for i := 0; i < 2; i++ {
+		done := make(chan error, 1)
+		go func() {
+			_, err := src.Tuner(hw.I3_540())
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			if err == nil || !strings.Contains(err.Error(), "panicked") {
+				t.Fatalf("attempt %d: err = %v, want panicked error", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("attempt %d: Tuner hung", i)
+		}
+	}
+	if src.Ready(hw.I3_540().Name) {
+		t.Error("panicked slot must not report ready")
+	}
+}
+
+func TestDuplicateSystemRejected(t *testing.T) {
+	_, err := New(Config{Systems: []hw.System{hw.I3_540(), hw.I3_540()}})
+	if err == nil {
+		t.Fatal("duplicate systems must be rejected")
+	}
+}

@@ -1,0 +1,166 @@
+package service
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+)
+
+// TunerSource resolves the trained tuner for a system. Implementations
+// must be safe for concurrent use; the server calls Tuner lazily from the
+// cache's miss path, so a source is only exercised for systems that
+// actually receive traffic.
+type TunerSource interface {
+	Tuner(sys hw.System) (*core.Tuner, error)
+}
+
+// ReadyReporter is the optional interface a TunerSource may implement to
+// report whether a system's tuner has been resolved successfully;
+// GET /v1/systems consults it for the "lazy"/"ready" field. Sources that
+// wrap another TunerSource should forward Ready to keep the readiness
+// signal visible.
+type ReadyReporter interface {
+	Ready(system string) bool
+}
+
+// tunerSlot is one system's lazily resolved tuner; done closes when the
+// resolve finishes, giving tuner resolution the same singleflight
+// property the plan cache gives predictions: concurrent first requests
+// for a system run one search, later ones block on its result.
+type tunerSlot struct {
+	done  chan struct{}
+	tuner *core.Tuner
+	err   error
+}
+
+// lazySource shares the slot bookkeeping between sources that resolve a
+// tuner at most once per system.
+type lazySource struct {
+	mu      sync.Mutex
+	slots   map[string]*tunerSlot
+	resolve func(sys hw.System) (*core.Tuner, error)
+}
+
+func newLazySource(resolve func(sys hw.System) (*core.Tuner, error)) *lazySource {
+	return &lazySource{slots: make(map[string]*tunerSlot), resolve: resolve}
+}
+
+// Tuner implements TunerSource. A failed resolve is not retried: the
+// error is remembered, matching the daemon's "misconfiguration is
+// permanent until restart" stance for missing tuner files.
+func (l *lazySource) Tuner(sys hw.System) (*core.Tuner, error) {
+	l.mu.Lock()
+	slot, ok := l.slots[sys.Name]
+	if !ok {
+		slot = &tunerSlot{done: make(chan struct{})}
+		l.slots[sys.Name] = slot
+		l.mu.Unlock()
+		// The slot must settle even if the resolve panics (training or a
+		// file load blowing up), or every later request for the system
+		// would block forever on done.
+		func() {
+			defer close(slot.done)
+			defer func() {
+				if r := recover(); r != nil {
+					slot.tuner, slot.err = nil, fmt.Errorf("resolving tuner for %s panicked: %v", sys.Name, r)
+				}
+			}()
+			slot.tuner, slot.err = l.resolve(sys)
+		}()
+		return slot.tuner, slot.err
+	}
+	l.mu.Unlock()
+	<-slot.done
+	return slot.tuner, slot.err
+}
+
+// Ready reports whether the named system's tuner has been resolved
+// successfully (consumed by GET /v1/systems). It never blocks, even
+// while a resolve is in flight.
+func (l *lazySource) Ready(name string) bool {
+	l.mu.Lock()
+	slot, ok := l.slots[name]
+	l.mu.Unlock()
+	if !ok {
+		return false
+	}
+	select {
+	case <-slot.done:
+		return slot.err == nil
+	default:
+		return false
+	}
+}
+
+// TrainingSourceOptions configure NewTrainingSource.
+type TrainingSourceOptions struct {
+	// Space is the exhaustive search space to train on; empty selects
+	// core.QuickSpace() (about a second per system on a laptop-class
+	// host). Use core.DefaultSpace() for paper-scale tuners.
+	Space core.Space
+	// TrainOpts configure model fitting; the zero value selects
+	// core.DefaultTrainOptions().
+	TrainOpts core.TrainOptions
+}
+
+// NewTrainingSource returns a source that trains a tuner per system on
+// first use: an exhaustive search of the options' space followed by the
+// paper's model pipeline, exactly the "factory" path of wavetrain.
+func NewTrainingSource(opts TrainingSourceOptions) TunerSource {
+	space := opts.Space
+	if len(space.Dims) == 0 && len(space.Rects) == 0 {
+		space = core.QuickSpace()
+	}
+	return newLazySource(func(sys hw.System) (*core.Tuner, error) {
+		sr, err := core.Exhaustive(sys, space, core.SearchOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("searching %s: %w", sys.Name, err)
+		}
+		// core.Train applies per-field defaults to zero TrainOptions.
+		return core.Train(sr, opts.TrainOpts)
+	})
+}
+
+// NewDirSource returns a source that loads "<dir>/<system>.json" files
+// written by core.(*Tuner).Save (wavetrain -save) on first use. A file
+// trained for a different system than its name indicates is rejected.
+func NewDirSource(dir string) TunerSource {
+	return newLazySource(func(sys hw.System) (*core.Tuner, error) {
+		path := filepath.Join(dir, sys.Name+".json")
+		t, err := core.LoadTuner(path)
+		if err != nil {
+			return nil, err
+		}
+		if t.Sys.Name != sys.Name {
+			return nil, fmt.Errorf("tuner %s was trained for %s, not %s", path, t.Sys.Name, sys.Name)
+		}
+		return t, nil
+	})
+}
+
+// StaticSource serves pre-built tuners (tests, embedded deployments).
+type StaticSource map[string]*core.Tuner
+
+// NewStaticSource indexes the given tuners by system name.
+func NewStaticSource(tuners ...*core.Tuner) StaticSource {
+	m := make(StaticSource, len(tuners))
+	for _, t := range tuners {
+		m[t.Sys.Name] = t
+	}
+	return m
+}
+
+// Tuner implements TunerSource.
+func (m StaticSource) Tuner(sys hw.System) (*core.Tuner, error) {
+	t, ok := m[sys.Name]
+	if !ok {
+		return nil, fmt.Errorf("no tuner for system %q", sys.Name)
+	}
+	return t, nil
+}
+
+// Ready implements the readiness probe: static tuners are always ready.
+func (m StaticSource) Ready(name string) bool { _, ok := m[name]; return ok }

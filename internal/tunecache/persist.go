@@ -1,0 +1,160 @@
+package tunecache
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/plan"
+)
+
+// Cache persistence follows the style of the tuner files written by
+// core.(*Tuner).Save: a versioned JSON document with explicit snake_case
+// fields, small enough to inspect by hand. Instance shapes keep both
+// square and rectangular spellings, mirroring the search-CSV dim column
+// (Instance.ShapeString).
+
+const cacheFormatVersion = 1
+
+// entryDTO is the on-disk form of one cached plan.
+type entryDTO struct {
+	System string `json:"system"`
+	// Dim is set for square instances; Rows/Cols for rectangular ones
+	// (the same convention as the search CSV's dim column).
+	Dim      int     `json:"dim,omitempty"`
+	Rows     int     `json:"rows,omitempty"`
+	Cols     int     `json:"cols,omitempty"`
+	TSize    float64 `json:"tsize"`
+	DSize    int     `json:"dsize"`
+	Serial   bool    `json:"serial"`
+	CPUTile  int     `json:"cpu_tile"`
+	Band     int     `json:"band"`
+	GPUTile  int     `json:"gpu_tile"`
+	Halo     int     `json:"halo"`
+	RTimeNs  float64 `json:"rtime_ns"`
+	SerialNs float64 `json:"serial_ns"`
+}
+
+// cacheDTO is the on-disk form of the whole cache.
+type cacheDTO struct {
+	Version int        `json:"version"`
+	Entries []entryDTO `json:"entries"`
+}
+
+// Save writes every resident plan to w as versioned JSON, least recently
+// used first, so that a Load into a fresh cache reproduces the recency
+// order (the last entry loaded becomes the most recent).
+func (c *Cache) Save(w io.Writer) error {
+	c.mu.Lock()
+	dto := cacheDTO{Version: cacheFormatVersion}
+	for el := c.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry)
+		d := entryDTO{
+			System: e.sys, TSize: e.inst.TSize, DSize: e.inst.DSize,
+			Serial: e.val.Serial, CPUTile: e.val.Par.CPUTile,
+			Band: e.val.Par.Band, GPUTile: e.val.Par.GPUTile, Halo: e.val.Par.Halo,
+			RTimeNs: e.val.RTimeNs, SerialNs: e.val.SerialNs,
+		}
+		if rows, cols := e.inst.Shape(); rows == cols {
+			d.Dim = rows
+		} else {
+			d.Rows, d.Cols = rows, cols
+		}
+		dto.Entries = append(dto.Entries, d)
+	}
+	c.mu.Unlock()
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(dto); err != nil {
+		return fmt.Errorf("tunecache: encoding cache: %w", err)
+	}
+	return nil
+}
+
+// Load reads a document written by Save and warms the cache with its
+// entries, in order. It returns the number of plans loaded. Loading is
+// all-or-nothing: every entry is validated — the instance, and the
+// params via plan.Build, so a corrupt file cannot inject settings the
+// library itself rejects — before any is inserted. Entries beyond the
+// capacity evict in the usual LRU order, so loading a large file into a
+// small cache keeps the file's most recent tail.
+func (c *Cache) Load(r io.Reader) (int, error) {
+	var dto cacheDTO
+	if err := json.NewDecoder(r).Decode(&dto); err != nil {
+		return 0, fmt.Errorf("tunecache: decoding cache: %w", err)
+	}
+	if dto.Version != cacheFormatVersion {
+		return 0, fmt.Errorf("tunecache: cache format version %d, want %d", dto.Version, cacheFormatVersion)
+	}
+	type staged struct {
+		sys  string
+		inst plan.Instance
+		p    Plan
+	}
+	entries := make([]staged, 0, len(dto.Entries))
+	for i, d := range dto.Entries {
+		inst := plan.Instance{Dim: d.Dim, Rows: d.Rows, Cols: d.Cols, TSize: d.TSize, DSize: d.DSize}
+		p := Plan{
+			Serial:   d.Serial,
+			Par:      plan.Params{CPUTile: d.CPUTile, Band: d.Band, GPUTile: d.GPUTile, Halo: d.Halo},
+			RTimeNs:  d.RTimeNs,
+			SerialNs: d.SerialNs,
+		}
+		if d.System == "" {
+			return 0, fmt.Errorf("tunecache: entry %d: empty system name", i)
+		}
+		if err := inst.Validate(); err != nil {
+			return 0, fmt.Errorf("tunecache: entry %d: %w", i, err)
+		}
+		if _, err := plan.Build(inst, p.Par); err != nil {
+			return 0, fmt.Errorf("tunecache: entry %d: %w", i, err)
+		}
+		entries = append(entries, staged{sys: d.System, inst: inst, p: p})
+	}
+	for _, e := range entries {
+		if err := c.Put(e.sys, e.inst, e.p); err != nil {
+			// Unreachable: every entry was validated above.
+			return 0, err
+		}
+	}
+	return len(entries), nil
+}
+
+// SaveFile writes the cache to path atomically (unique temp file +
+// rename), so a crash mid-write can never leave a truncated file behind
+// for the next start to choke on, and concurrent savers cannot corrupt
+// each other's temp file — last rename wins whole.
+func (c *Cache) SaveFile(path string) error {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("tunecache: %w", err)
+	}
+	tmp := f.Name()
+	if err := c.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tunecache: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("tunecache: %w", err)
+	}
+	return nil
+}
+
+// LoadFile warms the cache from a file written by SaveFile.
+func (c *Cache) LoadFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("tunecache: %w", err)
+	}
+	defer f.Close()
+	return c.Load(f)
+}

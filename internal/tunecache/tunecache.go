@@ -1,0 +1,262 @@
+// Package tunecache provides the concurrency-safe plan cache behind the
+// tuning service: the "train once, predict per instance" deployment story
+// of the paper, made cheap enough to serve at request rates. Tuned
+// decisions are cached by (system, instance shape) with LRU bounding, so
+// repeated requests for the same workload cost a map lookup instead of a
+// model evaluation, and concurrent misses on one key are deduplicated —
+// a single predict runs while every other caller blocks on its result
+// (the singleflight pattern). The cache persists to a versioned JSON
+// file, letting a daemon restart warm.
+package tunecache
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/plan"
+)
+
+// DefaultCapacity bounds the cache when the caller does not.
+const DefaultCapacity = 512
+
+// Plan is a cached tuning decision: the tuner's prediction plus the
+// modeled runtimes that contextualize it.
+type Plan struct {
+	// Serial is true when the parallelism gate chose the sequential
+	// baseline.
+	Serial bool
+	// Par is the tuned parameter setting (meaningful when !Serial, and
+	// also carries the fallback CPU tiling when Serial).
+	Par plan.Params
+	// RTimeNs is the modeled runtime of the decision in nanoseconds.
+	RTimeNs float64
+	// SerialNs is the modeled optimized sequential baseline in
+	// nanoseconds, for speedup reporting.
+	SerialNs float64
+}
+
+// PredictFunc computes a tuned plan on a cache miss. It is called exactly
+// once per missing key regardless of how many callers are waiting.
+type PredictFunc func(system string, inst plan.Instance) (Plan, error)
+
+// Outcome classifies how a Get was served.
+type Outcome int
+
+const (
+	// Hit: the plan was resident.
+	Hit Outcome = iota
+	// Miss: this caller ran the predict.
+	Miss
+	// Coalesced: another caller was already predicting this key; this
+	// caller blocked on that in-flight result.
+	Coalesced
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Miss:
+		return "miss"
+	case Coalesced:
+		return "coalesced"
+	}
+	return fmt.Sprintf("outcome(%d)", int(o))
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	// Hits counts Gets served from a resident entry.
+	Hits uint64 `json:"hits"`
+	// Misses counts Gets that invoked the predict function — the number
+	// of underlying tuner evaluations.
+	Misses uint64 `json:"misses"`
+	// Coalesced counts Gets that joined another caller's in-flight
+	// predict instead of starting their own.
+	Coalesced uint64 `json:"coalesced"`
+	// Evictions counts entries dropped by the LRU bound.
+	Evictions uint64 `json:"evictions"`
+	// Errors counts predicts that failed (failures are not cached).
+	Errors uint64 `json:"errors"`
+	// Size and Capacity describe the resident set.
+	Size     int `json:"size"`
+	Capacity int `json:"capacity"`
+}
+
+// Lookups returns the total number of Gets observed.
+func (s Stats) Lookups() uint64 { return s.Hits + s.Misses + s.Coalesced }
+
+// entry is one cache slot. While the predict is in flight, done is open
+// and elem is nil; once done closes, val/err are immutable and, on
+// success, elem links the entry into the LRU list.
+type entry struct {
+	key  string
+	sys  string
+	inst plan.Instance
+	done chan struct{}
+	val  Plan
+	err  error
+	elem *list.Element
+}
+
+// Cache is a concurrency-safe LRU plan cache with singleflight miss
+// deduplication. The zero value is not usable; construct with New.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	predict PredictFunc
+	entries map[string]*entry
+	lru     *list.List // front = most recently used; values are *entry
+	stats   Stats
+}
+
+// New creates a cache bounded to capacity resident plans (DefaultCapacity
+// when capacity <= 0) that fills misses through predict.
+func New(capacity int, predict PredictFunc) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Cache{
+		cap:     capacity,
+		predict: predict,
+		entries: make(map[string]*entry),
+		lru:     list.New(),
+	}
+}
+
+// Key returns the cache key for a system/instance pair: the system name
+// joined with the instance's stable canonical encoding.
+func Key(system string, inst plan.Instance) string {
+	return system + "|" + inst.CacheKey()
+}
+
+// Get returns the tuned plan for inst on the named system, predicting it
+// on a miss. The returned Outcome reports whether the plan was resident
+// (Hit), computed by this call (Miss), or shared from a concurrent
+// caller's in-flight computation (Coalesced). Predict errors are returned
+// to every waiting caller and are not cached, so a later Get retries.
+func (c *Cache) Get(system string, inst plan.Instance) (Plan, Outcome, error) {
+	if err := inst.Validate(); err != nil {
+		return Plan{}, Miss, err
+	}
+	if system == "" {
+		return Plan{}, Miss, fmt.Errorf("tunecache: empty system name")
+	}
+	inst = inst.Normalize()
+	k := Key(system, inst)
+
+	c.mu.Lock()
+	if e, ok := c.entries[k]; ok {
+		if e.elem != nil {
+			// Resident.
+			c.lru.MoveToFront(e.elem)
+			c.stats.Hits++
+			val := e.val
+			c.mu.Unlock()
+			return val, Hit, nil
+		}
+		// In flight: join it.
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		<-e.done
+		return e.val, Coalesced, e.err
+	}
+
+	// Miss: this caller leads the flight.
+	e := &entry{key: k, sys: system, inst: inst, done: make(chan struct{})}
+	c.entries[k] = e
+	c.stats.Misses++
+	c.mu.Unlock()
+
+	// A panicking predict must still settle the flight, or every waiter
+	// (and every future Get for the key) would block forever on done;
+	// convert the panic to an error delivered to all of them.
+	val, err := func() (v Plan, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("tunecache: predict panicked: %v", r)
+			}
+		}()
+		return c.predict(system, inst)
+	}()
+
+	c.mu.Lock()
+	e.val, e.err = val, err
+	if err != nil {
+		c.stats.Errors++
+		delete(c.entries, k)
+	} else {
+		e.elem = c.lru.PushFront(e)
+		c.evictLocked()
+	}
+	close(e.done)
+	c.mu.Unlock()
+	return val, Miss, err
+}
+
+// Put inserts a plan directly (cache warming; also used by Load). An
+// existing resident entry for the key is refreshed and promoted; an
+// in-flight entry is left alone — the flight's result wins.
+func (c *Cache) Put(system string, inst plan.Instance, p Plan) error {
+	if err := inst.Validate(); err != nil {
+		return err
+	}
+	if system == "" {
+		return fmt.Errorf("tunecache: empty system name")
+	}
+	inst = inst.Normalize()
+	k := Key(system, inst)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.entries[k]; ok {
+		if old.elem == nil {
+			return nil // in flight; do not race its result
+		}
+		// Replace rather than mutate: a coalesced Get that woke on
+		// old.done may still be reading old.val outside the lock, so a
+		// settled entry must stay immutable forever.
+		c.lru.Remove(old.elem)
+		delete(c.entries, k)
+	}
+	e := &entry{key: k, sys: system, inst: inst, val: p, done: make(chan struct{})}
+	close(e.done)
+	e.elem = c.lru.PushFront(e)
+	c.entries[k] = e
+	c.evictLocked()
+	return nil
+}
+
+// evictLocked drops least-recently-used resident entries until the bound
+// holds. Caller holds c.mu.
+func (c *Cache) evictLocked() {
+	for c.lru.Len() > c.cap {
+		back := c.lru.Back()
+		e := back.Value.(*entry)
+		c.lru.Remove(back)
+		delete(c.entries, e.key)
+		c.stats.Evictions++
+	}
+}
+
+// Len returns the number of resident plans.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// Capacity returns the LRU bound.
+func (c *Cache) Capacity() int { return c.cap }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Size = c.lru.Len()
+	s.Capacity = c.cap
+	return s
+}

@@ -1,0 +1,361 @@
+package tunecache
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/plan"
+)
+
+func inst(dim int) plan.Instance {
+	return plan.Instance{Dim: dim, TSize: 100, DSize: 1}
+}
+
+func planFor(dim int) Plan {
+	return Plan{Par: plan.Params{CPUTile: 8, Band: dim - 1, GPUTile: 1, Halo: -1},
+		RTimeNs: float64(dim), SerialNs: float64(10 * dim)}
+}
+
+func TestGetMissThenHit(t *testing.T) {
+	var calls atomic.Int64
+	c := New(4, func(system string, in plan.Instance) (Plan, error) {
+		calls.Add(1)
+		return planFor(in.MaxSide()), nil
+	})
+	p, out, err := c.Get("sys", inst(500))
+	if err != nil || out != Miss {
+		t.Fatalf("first Get = (%v, %v, %v), want miss", p, out, err)
+	}
+	if p.RTimeNs != 500 {
+		t.Errorf("plan RTimeNs = %v, want 500", p.RTimeNs)
+	}
+	p2, out, err := c.Get("sys", inst(500))
+	if err != nil || out != Hit {
+		t.Fatalf("second Get outcome = %v (%v), want hit", out, err)
+	}
+	if p2 != p {
+		t.Errorf("hit returned %+v, want %+v", p2, p)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("predict ran %d times, want 1", got)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Coalesced != 0 || st.Size != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / size 1", st)
+	}
+}
+
+func TestSquareAndRectSpellingsShareEntries(t *testing.T) {
+	var calls atomic.Int64
+	c := New(4, func(system string, in plan.Instance) (Plan, error) {
+		calls.Add(1)
+		return planFor(in.MaxSide()), nil
+	})
+	if _, out, _ := c.Get("sys", plan.Instance{Dim: 700, TSize: 10, DSize: 1}); out != Miss {
+		t.Fatalf("dim spelling: outcome %v, want miss", out)
+	}
+	if _, out, _ := c.Get("sys", plan.Instance{Rows: 700, Cols: 700, TSize: 10, DSize: 1}); out != Hit {
+		t.Fatalf("rows/cols spelling: outcome %v, want hit", out)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("predict ran %d times, want 1", got)
+	}
+}
+
+// TestConcurrentMissesCoalesce is the singleflight guarantee: N
+// goroutines miss the same cold key while the predict is deliberately
+// held open, and exactly one underlying predict runs.
+func TestConcurrentMissesCoalesce(t *testing.T) {
+	const n = 32
+	var calls atomic.Int64
+	release := make(chan struct{})
+	c := New(4, func(system string, in plan.Instance) (Plan, error) {
+		calls.Add(1)
+		<-release
+		return planFor(in.MaxSide()), nil
+	})
+
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, n)
+	plans := make([]Plan, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, out, err := c.Get("sys", inst(1900))
+			if err != nil {
+				t.Errorf("Get: %v", err)
+			}
+			outcomes[i], plans[i] = out, p
+		}(i)
+	}
+
+	// Wait until every goroutine has registered against the in-flight
+	// entry (the leader counts as the miss, the rest as coalesced), then
+	// let the predict finish.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := c.Stats()
+		if st.Misses+st.Coalesced == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines never registered: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("predict ran %d times, want exactly 1", got)
+	}
+	misses, coalesced := 0, 0
+	for i, out := range outcomes {
+		switch out {
+		case Miss:
+			misses++
+		case Coalesced:
+			coalesced++
+		default:
+			t.Errorf("goroutine %d outcome %v", i, out)
+		}
+		if plans[i] != planFor(1900) {
+			t.Errorf("goroutine %d plan %+v", i, plans[i])
+		}
+	}
+	if misses != 1 || coalesced != n-1 {
+		t.Errorf("misses = %d, coalesced = %d, want 1 and %d", misses, coalesced, n-1)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Coalesced != n-1 || st.Hits != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestLRUEvictionOrder: with capacity 2, touching A keeps it alive and
+// inserting C evicts the least recently used B.
+func TestLRUEvictionOrder(t *testing.T) {
+	var calls atomic.Int64
+	c := New(2, func(system string, in plan.Instance) (Plan, error) {
+		calls.Add(1)
+		return planFor(in.MaxSide()), nil
+	})
+	a, b, d := inst(100), inst(200), inst(300)
+	c.Get("sys", a) // miss
+	c.Get("sys", b) // miss
+	c.Get("sys", a) // hit: A is now most recent
+	c.Get("sys", d) // miss: evicts B
+	if st := c.Stats(); st.Evictions != 1 || st.Size != 2 {
+		t.Fatalf("stats after eviction = %+v, want 1 eviction, size 2", st)
+	}
+	if _, out, _ := c.Get("sys", a); out != Hit {
+		t.Errorf("A should have survived, got %v", out)
+	}
+	if _, out, _ := c.Get("sys", d); out != Hit {
+		t.Errorf("C should be resident, got %v", out)
+	}
+	if _, out, _ := c.Get("sys", b); out != Miss {
+		t.Errorf("B should have been evicted, got %v", out)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	var calls atomic.Int64
+	boom := errors.New("boom")
+	c := New(4, func(system string, in plan.Instance) (Plan, error) {
+		if calls.Add(1) == 1 {
+			return Plan{}, boom
+		}
+		return planFor(in.MaxSide()), nil
+	})
+	if _, _, err := c.Get("sys", inst(500)); !errors.Is(err, boom) {
+		t.Fatalf("first Get err = %v, want boom", err)
+	}
+	if _, out, err := c.Get("sys", inst(500)); err != nil || out != Miss {
+		t.Fatalf("retry = (%v, %v), want clean miss", out, err)
+	}
+	st := c.Stats()
+	if st.Errors != 1 || st.Misses != 2 || st.Size != 1 {
+		t.Errorf("stats = %+v, want 1 error, 2 misses, size 1", st)
+	}
+}
+
+// TestPanickingPredictSettlesTheFlight: a predict that panics must not
+// wedge the key — waiters get an error and a later Get retries.
+func TestPanickingPredictSettlesTheFlight(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	c := New(4, func(system string, in plan.Instance) (Plan, error) {
+		if calls.Add(1) == 1 {
+			<-release
+			panic("model exploded")
+		}
+		return planFor(in.MaxSide()), nil
+	})
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = c.Get("sys", inst(900))
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := c.Stats()
+		if st.Misses+st.Coalesced == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines never registered: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Errorf("goroutine %d err = %v, want predict-panicked error", i, err)
+		}
+	}
+	// The key must not be wedged: the next Get runs a fresh predict.
+	if _, out, err := c.Get("sys", inst(900)); err != nil || out != Miss {
+		t.Fatalf("retry after panic = (%v, %v), want clean miss", out, err)
+	}
+}
+
+func TestGetValidates(t *testing.T) {
+	c := New(4, func(system string, in plan.Instance) (Plan, error) {
+		return Plan{}, nil
+	})
+	if _, _, err := c.Get("sys", plan.Instance{Dim: 0, TSize: 1}); err == nil {
+		t.Error("invalid instance must be rejected")
+	}
+	if _, _, err := c.Get("", inst(500)); err == nil {
+		t.Error("empty system must be rejected")
+	}
+	if st := c.Stats(); st.Size != 0 {
+		t.Errorf("rejected Gets must not insert: %+v", st)
+	}
+}
+
+func TestKeyStability(t *testing.T) {
+	sq := plan.Instance{Dim: 700, TSize: 0.5, DSize: 0}
+	rc := plan.Instance{Rows: 700, Cols: 700, TSize: 0.5, DSize: 0}
+	if Key("s", sq) != Key("s", rc) {
+		t.Errorf("square spellings differ: %q vs %q", Key("s", sq), Key("s", rc))
+	}
+	rect := plan.Instance{Rows: 600, Cols: 1400, TSize: 0.5, DSize: 0}
+	if got, want := Key("s", rect), "s|600x1400|t=0.5|d=0"; got != want {
+		t.Errorf("rect key = %q, want %q", got, want)
+	}
+}
+
+// TestPutDoesNotRaceCoalescedReaders: Put must replace a settled entry
+// rather than mutate it, because a coalesced Get that just woke may
+// still be reading the old value outside the lock. Run under -race with
+// Puts overlapping a held-open flight and its waiters.
+func TestPutDoesNotRaceCoalescedReaders(t *testing.T) {
+	release := make(chan struct{})
+	c := New(4, func(system string, in plan.Instance) (Plan, error) {
+		<-release
+		return planFor(in.MaxSide()), nil
+	})
+	in := inst(800)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, err := c.Get("sys", in); err != nil {
+				t.Errorf("Get: %v", err)
+			}
+		}()
+	}
+	// Wait for the flight to be populated, release it, and immediately
+	// hammer Put on the same key while the waiters drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Lookups() < 8 {
+		if time.Now().After(deadline) {
+			t.Fatal("flight never formed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	for i := 0; i < 100; i++ {
+		if err := c.Put("sys", in, Plan{RTimeNs: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if _, out, _ := c.Get("sys", in); out != Hit {
+		t.Errorf("key must remain resident, got %v", out)
+	}
+}
+
+// TestPutRefreshesResident: Put on a resident key installs the new plan
+// and promotes it.
+func TestPutRefreshesResident(t *testing.T) {
+	c := New(2, func(system string, in plan.Instance) (Plan, error) {
+		return planFor(in.MaxSide()), nil
+	})
+	in := inst(400)
+	c.Get("sys", in)
+	fresh := Plan{RTimeNs: 42}
+	if err := c.Put("sys", in, fresh); err != nil {
+		t.Fatal(err)
+	}
+	p, out, _ := c.Get("sys", in)
+	if out != Hit || p != fresh {
+		t.Errorf("after Put: (%+v, %v), want refreshed hit", p, out)
+	}
+	if st := c.Stats(); st.Size != 1 {
+		t.Errorf("size = %d, want 1 (replace, not duplicate)", st.Size)
+	}
+}
+
+// TestConcurrentMixedWorkload hammers the cache from many goroutines
+// under -race: distinct keys, shared keys, and eviction pressure at once.
+func TestConcurrentMixedWorkload(t *testing.T) {
+	var calls atomic.Int64
+	c := New(8, func(system string, in plan.Instance) (Plan, error) {
+		calls.Add(1)
+		return planFor(in.MaxSide()), nil
+	})
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				dim := 100 + 100*((g+i)%12)
+				p, _, err := c.Get(fmt.Sprintf("sys%d", i%2), inst(dim))
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				if p != planFor(dim) {
+					t.Errorf("wrong plan for dim %d: %+v", dim, p)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Lookups() != 16*200 {
+		t.Errorf("lookups = %d, want %d", st.Lookups(), 16*200)
+	}
+	if st.Size > 8 {
+		t.Errorf("size %d exceeds capacity 8", st.Size)
+	}
+}

@@ -1,0 +1,39 @@
+#!/bin/sh
+# check_pkg_docs.sh fails if any package in the module lacks a package
+# comment (a "// Package foo ..." or, for main packages, "// Command foo
+# ..." doc comment immediately above the package clause in at least one
+# non-test file). Run from the repository root; CI's docs job runs it
+# after the godoc examples.
+set -eu
+
+fail=0
+for dir in $(go list -f '{{.Dir}}' ./...); do
+    found=0
+    for f in "$dir"/*.go; do
+        [ -e "$f" ] || continue
+        case "$f" in
+        *_test.go) continue ;;
+        esac
+        # A doc comment is a comment line directly followed (possibly via
+        # further comment lines) by the package clause.
+        if awk '
+            /^\/\// { incomment = 1; doc = doc $0 "\n"; next }
+            /^package / { if (incomment && (doc ~ /^\/\/ (Package|Command) /)) ok = 1; exit }
+            { incomment = 0; doc = "" }
+            END { exit !ok }
+        ' "$f"; then
+            found=1
+            break
+        fi
+    done
+    if [ "$found" -eq 0 ]; then
+        echo "missing package comment: $dir" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "every package needs a '// Package <name> ...' (or '// Command <name> ...') doc comment" >&2
+    exit 1
+fi
+echo "package comments: OK"

@@ -1,0 +1,76 @@
+package wavefront
+
+// The serving surface: the paper's "train once, predict per instance"
+// deployment exposed as a long-running component. PlanCache memoizes
+// tuned decisions per (system, instance); TuningServer wraps it in the
+// HTTP protocol served by cmd/waved. As with the rest of this package,
+// the types are aliases of the internal implementation so downstream
+// code never imports repro/internal/... directly.
+
+import (
+	"repro/internal/service"
+	"repro/internal/tunecache"
+)
+
+// PlanCache is a concurrency-safe LRU cache of tuned plans with
+// singleflight deduplication of concurrent misses and JSON persistence.
+type PlanCache = tunecache.Cache
+
+// CachedPlan is a cached tuning decision with its modeled runtimes.
+type CachedPlan = tunecache.Plan
+
+// CacheStats is a snapshot of a PlanCache's counters.
+type CacheStats = tunecache.Stats
+
+// PredictFunc fills PlanCache misses; it runs exactly once per missing
+// key regardless of how many callers wait on it.
+type PredictFunc = tunecache.PredictFunc
+
+// TuningServer is the HTTP tuning daemon: POST /v1/tune, GET /v1/systems,
+// GET /v1/stats, GET /healthz.
+type TuningServer = service.Server
+
+// TuningConfig configures NewTuningServer.
+type TuningConfig = service.Config
+
+// TunerSource lazily resolves the tuner for a system (trained on demand,
+// loaded from disk, or served from memory).
+type TunerSource = service.TunerSource
+
+// ReadyReporter is the optional TunerSource extension consulted by
+// GET /v1/systems for the "lazy"/"ready" tuner state.
+type ReadyReporter = service.ReadyReporter
+
+// TrainingSourceOptions configure NewTrainingTunerSource.
+type TrainingSourceOptions = service.TrainingSourceOptions
+
+// NewPlanCache creates a plan cache bounded to capacity entries
+// (capacity <= 0 selects the default) filling misses through predict.
+func NewPlanCache(capacity int, predict PredictFunc) *PlanCache {
+	return tunecache.New(capacity, predict)
+}
+
+// NewTuningServer builds the tuning daemon from cfg. The zero config
+// serves every Table 4 system with lazily trained quick-space tuners.
+func NewTuningServer(cfg TuningConfig) (*TuningServer, error) {
+	return service.New(cfg)
+}
+
+// NewTrainingTunerSource returns a TunerSource that trains a tuner per
+// system on first use (the wavetrain "factory" path, run lazily).
+func NewTrainingTunerSource(opts TrainingSourceOptions) TunerSource {
+	return service.NewTrainingSource(opts)
+}
+
+// NewDirTunerSource returns a TunerSource that loads
+// "<dir>/<system>.json" tuner files written by Tuner.Save
+// (wavetrain -save).
+func NewDirTunerSource(dir string) TunerSource {
+	return service.NewDirSource(dir)
+}
+
+// NewStaticTunerSource serves the given pre-built tuners, indexed by
+// system name.
+func NewStaticTunerSource(tuners ...*Tuner) TunerSource {
+	return service.NewStaticSource(tuners...)
+}

@@ -1,8 +1,9 @@
 // Package wavefront is the public API of the reproduction of "Autotuning
 // Wavefront Applications for Multicore Multi-GPU Hybrid Architectures"
-// (Mohanty and Cole, PMAM 2014).
+// (Mohanty and Cole, PMAM '14, co-located with PPoPP 2014,
+// DOI 10.1145/2560683.2560689).
 //
-// It exposes four capabilities:
+// It exposes five capabilities:
 //
 //   - the wavefront pattern library: define a Kernel and run it natively
 //     on the host CPU, serially or tile-parallel (RunSerial, RunParallel);
@@ -10,7 +11,9 @@
 //     three-phase hybrid execution strategy on them (Estimate, Simulate);
 //   - the exhaustive tuning-space exploration of Table 3 (Exhaustive);
 //   - the machine-learned autotuner: train on the synthetic application,
-//     deploy on unseen applications (Train, Tuner.Predict).
+//     deploy on unseen applications (Train, Tuner.Predict);
+//   - the serving layer: a concurrency-safe plan cache and the HTTP
+//     tuning daemon behind cmd/waved (NewPlanCache, NewTuningServer).
 //
 // Grids may be square (the paper's dim x dim experiments; NewGrid,
 // InstanceOf) or rectangular (rows x cols; NewRectGrid, RectInstanceOf,
