@@ -8,6 +8,7 @@ package repro
 // tuners) are built once, outside the timed sections.
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -18,9 +19,11 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/grid"
 	"repro/internal/hw"
+	"repro/internal/jobs"
 	"repro/internal/kernels"
 	"repro/internal/ml"
 	"repro/internal/plan"
+	"repro/internal/tunecache"
 )
 
 var (
@@ -320,6 +323,77 @@ func BenchmarkExhaustiveQuickSearch(b *testing.B) {
 		}
 		b.ReportMetric(float64(sr.Evaluations()), "evals")
 	}
+}
+
+// ---- Serving-layer micro-benchmarks ----
+
+// BenchmarkPlanCacheHit measures the hot path of the tuning service: a
+// resident plan-cache lookup (one mutex acquisition, an LRU promotion
+// and a map hit).
+func BenchmarkPlanCacheHit(b *testing.B) {
+	c := tunecache.New(0, func(system string, in plan.Instance) (tunecache.Plan, error) {
+		return tunecache.Plan{
+			Par:     plan.Params{CPUTile: 8, Band: -1, GPUTile: 1, Halo: -1},
+			RTimeNs: 1e6, SerialNs: 2e6,
+		}, nil
+	})
+	inst := plan.Instance{Dim: 1900, TSize: 2000, DSize: 1}
+	if _, _, err := c.Get("i7-2600K", inst); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, out, err := c.Get("i7-2600K", inst); err != nil || out != tunecache.Hit {
+			b.Fatalf("lookup = %v (%v), want hit", out, err)
+		}
+	}
+}
+
+// BenchmarkJobThroughput measures end-to-end submit→complete job
+// operations per second at a fixed worker count, with the plan fetch
+// served from a warm cache and the execution measured on the modeled
+// system.
+func BenchmarkJobThroughput(b *testing.B) {
+	cache := tunecache.New(0, func(system string, in plan.Instance) (tunecache.Plan, error) {
+		return tunecache.Plan{
+			Par:     plan.Params{CPUTile: 8, Band: -1, GPUTile: 1, Halo: -1},
+			RTimeNs: 1e6, SerialNs: 2e6,
+		}, nil
+	})
+	m, err := jobs.New(jobs.Config{
+		Workers:    4,
+		QueueDepth: 1 << 16,
+		MaxRecords: 1 << 16,
+		Plans:      cache.Get,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Shutdown(context.Background())
+	inst := plan.Instance{Dim: 256, TSize: 100, DSize: 1}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// b.Fatal must not be called from RunParallel goroutines; report
+		// with b.Error and bail out of the loop instead.
+		for pb.Next() {
+			j, err := m.Submit(jobs.Spec{System: "i7-2600K", Inst: inst})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			done, err := m.Await(context.Background(), j.ID)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if done.State != jobs.StateSucceeded {
+				b.Errorf("job %s = %v (%s)", j.ID, done.State, done.Err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 }
 
 func BenchmarkM5Fit(b *testing.B) {

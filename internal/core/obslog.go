@@ -1,0 +1,114 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/plan"
+)
+
+// ObservationLog persists measured (instance, params, runtime)
+// observations gathered at serving time — the feedback half of the
+// paper's future-work runtime tuning: when an online-refined job
+// measures a configuration, the observation is appended here so the
+// offline models can later be retrained on deployment traffic. Rows are
+// written in the exact search-CSV format of WriteCSV, one file per
+// system ("<dir>/<system>.csv"), so `wavetrain -from` folds a log file
+// into retraining with no conversion step.
+//
+// Appends are write-through (open, append, close) and serialized by an
+// internal mutex, so a crash never loses more than the row being
+// written and concurrent workers cannot interleave partial rows.
+type ObservationLog struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// Observation is one measured configuration: the instance it ran on,
+// the parameter setting, and the measured runtime in nanoseconds.
+type Observation struct {
+	Inst    plan.Instance
+	Par     plan.Params
+	RTimeNs float64
+}
+
+// NewObservationLog creates (if needed) dir and returns a log writing
+// per-system CSV files into it.
+func NewObservationLog(dir string) (*ObservationLog, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("core: empty observation-log directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: observation log: %w", err)
+	}
+	return &ObservationLog{dir: dir}, nil
+}
+
+// Dir returns the directory the log writes into.
+func (l *ObservationLog) Dir() string { return l.dir }
+
+// Path returns the CSV file observations for the named system append to.
+func (l *ObservationLog) Path(system string) string {
+	return filepath.Join(l.dir, system+".csv")
+}
+
+// validLogSystem rejects system names that would escape the log
+// directory, produce unreadable file names, or break the CSV row format
+// (the name is written raw as the first column).
+func validLogSystem(system string) error {
+	if system == "" {
+		return fmt.Errorf("core: empty system name")
+	}
+	if strings.ContainsAny(system, "/\\,\n\r") || system == "." || system == ".." {
+		return fmt.Errorf("core: system name %q not usable in a CSV observation log", system)
+	}
+	return nil
+}
+
+// Append validates and appends observations to the named system's file,
+// writing the search-CSV header first when the file is new or empty.
+// Every observation is validated (the instance, and the params via
+// plan.Build) before any row is written, so a log file never contains
+// settings that ReadCSV would reject.
+func (l *ObservationLog) Append(system string, obs ...Observation) error {
+	if err := validLogSystem(system); err != nil {
+		return err
+	}
+	for i, o := range obs {
+		if _, err := plan.Build(o.Inst, o.Par); err != nil {
+			return fmt.Errorf("core: observation %d: %w", i, err)
+		}
+		if !(o.RTimeNs > 0) {
+			return fmt.Errorf("core: observation %d: runtime %v not positive", i, o.RTimeNs)
+		}
+	}
+	if len(obs) == 0 {
+		return nil
+	}
+
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	f, err := os.OpenFile(l.Path(system), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("core: observation log: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	if fi, err := f.Stat(); err == nil && fi.Size() == 0 {
+		fmt.Fprintln(w, searchCSVHeader)
+	}
+	for _, o := range obs {
+		writeSearchRow(w, system, o.Inst.Normalize(), o.Par, o.RTimeNs, false)
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("core: observation log: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("core: observation log: %w", err)
+	}
+	return nil
+}

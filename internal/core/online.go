@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/engine"
@@ -42,15 +43,36 @@ func NewOnlineTuner(base *Tuner) *OnlineTuner {
 
 // Refine predicts offline and then refines at runtime.
 func (o *OnlineTuner) Refine(inst plan.Instance) (Prediction, RefineStats, error) {
-	pred := o.Base.Predict(inst)
-	if pred.Serial {
-		// The gate said serial; runtime refinement still probes the
-		// parallel alternative once in case the gate was wrong.
-		serialNs := engine.SerialNs(o.Base.Sys, inst)
-		alt := engine.CPUOnlyParams(engine.SerialTile)
+	return o.RefineContext(context.Background(), inst)
+}
+
+// RefineContext is Refine with cooperative cancellation: between probes
+// the refinement observes ctx and, once it is done, returns the
+// incumbent configuration together with ctx's error. The job subsystem
+// cancels in-flight refinements through this path.
+func (o *OnlineTuner) RefineContext(ctx context.Context, inst plan.Instance) (Prediction, RefineStats, error) {
+	return o.RefineDecisionContext(ctx, inst, o.Base.Predict(inst), 0)
+}
+
+// RefineDecisionContext refines an explicit starting decision — e.g. a
+// plan-cache entry — without re-running the offline predict: a serial
+// decision probes the parallel alternative once against the baseline
+// (the gate may have been wrong); a parallel decision hill-climbs from
+// its params and falls back to the baseline if even the refined
+// configuration loses to it. serialNs is the known sequential baseline
+// in nanoseconds (<= 0 recomputes it from the model).
+func (o *OnlineTuner) RefineDecisionContext(ctx context.Context, inst plan.Instance, dec Prediction, serialNs float64) (Prediction, RefineStats, error) {
+	if serialNs <= 0 {
+		serialNs = engine.SerialNs(o.Base.Sys, inst)
+	}
+	if dec.Serial {
+		if err := ctx.Err(); err != nil {
+			return dec, RefineStats{}, err
+		}
+		alt := engine.CPUOnlyParams(clampTile(engine.SerialTile, inst.MaxSide()))
 		res, err := engine.Estimate(o.Base.Sys, inst, alt, engine.Options{})
 		if err != nil {
-			return pred, RefineStats{}, err
+			return dec, RefineStats{}, err
 		}
 		st := RefineStats{Probes: 1, StartNs: serialNs, FinalNs: serialNs}
 		if res.RTimeNs < serialNs {
@@ -58,17 +80,17 @@ func (o *OnlineTuner) Refine(inst plan.Instance) (Prediction, RefineStats, error
 			st.Moves = 1
 			return Prediction{Par: alt}, st, nil
 		}
-		return pred, st, nil
+		return dec, st, nil
 	}
-	refined, st, err := o.RefineFrom(inst, pred.Par)
+	refined, st, err := o.RefineFromContext(ctx, inst, dec.Par)
 	if err != nil {
-		return pred, st, err
+		return dec, st, err
 	}
 	// A runtime tuner can always fall back to the sequential baseline; if
 	// even the refined parallel configuration loses to it, run serial.
-	if serialNs := engine.SerialNs(o.Base.Sys, inst); serialNs < st.FinalNs {
+	if serialNs < st.FinalNs {
 		st.FinalNs = serialNs
-		return Prediction{Serial: true, Par: engine.CPUOnlyParams(engine.SerialTile)}, st, nil
+		return Prediction{Serial: true, Par: engine.CPUOnlyParams(clampTile(engine.SerialTile, inst.MaxSide()))}, st, nil
 	}
 	return refined, st, nil
 }
@@ -78,6 +100,14 @@ func (o *OnlineTuner) Refine(inst plan.Instance) (Prediction, RefineStats, error
 // strict improvement, until the probe budget is exhausted or a local
 // optimum is reached.
 func (o *OnlineTuner) RefineFrom(inst plan.Instance, start plan.Params) (Prediction, RefineStats, error) {
+	return o.RefineFromContext(context.Background(), inst, start)
+}
+
+// RefineFromContext is RefineFrom with cooperative cancellation: ctx is
+// checked before every probe measurement, and once it is done the
+// incumbent (best so far) is returned with the stats accumulated up to
+// that point and ctx's error.
+func (o *OnlineTuner) RefineFromContext(ctx context.Context, inst plan.Instance, start plan.Params) (Prediction, RefineStats, error) {
 	budget := o.Budget
 	if budget <= 0 {
 		budget = 12
@@ -97,6 +127,9 @@ func (o *OnlineTuner) RefineFrom(inst plan.Instance, start plan.Params) (Predict
 		return res.RTimeNs, true
 	}
 
+	if err := ctx.Err(); err != nil {
+		return Prediction{Par: start.Normalize()}, RefineStats{}, err
+	}
 	cur := start.Normalize()
 	curNs, ok := measure(cur)
 	if !ok {
@@ -109,6 +142,10 @@ func (o *OnlineTuner) RefineFrom(inst plan.Instance, start plan.Params) (Predict
 		for _, cand := range neighbours(inst, cur) {
 			if st.Probes >= budget {
 				break
+			}
+			if err := ctx.Err(); err != nil {
+				st.FinalNs = curNs
+				return Prediction{Par: cur}, st, err
 			}
 			ns, ok := measure(cand)
 			if !ok {

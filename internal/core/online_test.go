@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/engine"
 	"repro/internal/hw"
+	"repro/internal/ml"
 	"repro/internal/plan"
 )
 
@@ -135,6 +137,178 @@ func TestOnlineSerialGate(t *testing.T) {
 	}
 	if auto > engine.SerialNs(tu.Sys, inst)*1.0000001 && !pred.Serial {
 		t.Error("online result worse than serial")
+	}
+}
+
+// TestRefineFromBudgetMidNeighbourhood: a probe budget smaller than one
+// neighbourhood must stop the climb mid-neighbourhood, never exceeding
+// the budget.
+func TestRefineFromBudgetMidNeighbourhood(t *testing.T) {
+	tu := trainedTuner(t, hw.I7_2600K())
+	online := NewOnlineTuner(tu)
+	online.Budget = 2
+	inst := plan.Instance{Dim: 1500, TSize: 2000, DSize: 1}
+	start := plan.Params{CPUTile: 8, Band: 700, GPUTile: 4, Halo: 20}
+	if n := len(neighbours(inst, start.Normalize())); n < 2 {
+		t.Fatalf("start has only %d neighbours; the test needs a full neighbourhood", n)
+	}
+	_, st, err := online.RefineFrom(inst, start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One probe measures the start, leaving exactly one for the
+	// neighbourhood.
+	if st.Probes != 2 {
+		t.Errorf("probes = %d, want exactly 2 (budget exhausted mid-neighbourhood)", st.Probes)
+	}
+}
+
+// TestNeighboursOffGridCPUTile: M5 predictions can start the climb from
+// cpu-tile values outside the Table 3 grid; neighbours must still move
+// to the adjacent grid values (and produce only valid configurations).
+func TestNeighboursOffGridCPUTile(t *testing.T) {
+	inst := plan.Instance{Dim: 800, TSize: 100, DSize: 1}
+	cases := []struct {
+		cpuTile int
+		want    []int // expected cpu-tile moves among the neighbours
+	}{
+		// An off-grid start anchors at the smallest grid tile above it
+		// and moves to that anchor's index neighbours.
+		{3, []int{2, 8}},
+		{7, []int{4, 10}},
+		{11, []int{10}},
+		{20, nil}, // beyond the grid: no cpu-tile moves at all
+	}
+	for _, tc := range cases {
+		p := plan.Params{CPUTile: tc.cpuTile, Band: 300, GPUTile: 1, Halo: -1}
+		ns := neighbours(inst, p)
+		moves := map[int]bool{}
+		for _, n := range ns {
+			if _, err := plan.Build(inst, n); err != nil {
+				t.Errorf("cpu-tile %d: invalid neighbour %v: %v", tc.cpuTile, n, err)
+			}
+			if n.CPUTile != tc.cpuTile {
+				moves[n.CPUTile] = true
+			}
+		}
+		if len(moves) != len(tc.want) {
+			t.Errorf("cpu-tile %d: moves = %v, want %v", tc.cpuTile, moves, tc.want)
+		}
+		for _, w := range tc.want {
+			if !moves[w] {
+				t.Errorf("cpu-tile %d: missing move to %d (got %v)", tc.cpuTile, w, moves)
+			}
+		}
+	}
+}
+
+// gateOpenTuner builds a tuner whose parallelism gate always says
+// parallel and whose models pick a plain CPU-only configuration, by
+// fitting the underlying models on constant targets. It lets tests
+// steer Predict deterministically without a full training run.
+func gateOpenTuner(sys hw.System) *Tuner {
+	gate := ml.NewDataset("dim", "tsize", "dsize")
+	cpu := ml.NewDataset("dim", "tsize", "dsize")
+	gpu := ml.NewDataset("dim", "tsize", "dsize")
+	for _, x := range [][]float64{
+		{5, 0.5, 0}, {50, 5, 1}, {500, 100, 1}, {2000, 3000, 5}, {3000, 10000, 9},
+	} {
+		gate.Add(x, 1) // every training point says "parallelize"
+		cpu.Add(x, 8)  // constant cpu-tile
+		gpu.Add(x, 0)  // never employ the GPU
+	}
+	svm, err := ml.FitSVM(gate, ml.SVMOptions{})
+	if err != nil {
+		panic(err)
+	}
+	return &Tuner{
+		Sys:      sys,
+		Parallel: svm,
+		CPUTile:  ml.FitM5(cpu, ml.DefaultM5Options()),
+		GPUTile:  ml.FitREP(gpu, ml.REPOptions{}),
+	}
+}
+
+// TestRefineSerialFallback drives the serial-fallback branch of Refine:
+// the gate (wrongly) says parallel on a tiny instance, the climb cannot
+// beat the sequential baseline, so the refined decision must fall back
+// to serial with FinalNs equal to the baseline.
+func TestRefineSerialFallback(t *testing.T) {
+	sys := hw.I7_2600K()
+	tu := gateOpenTuner(sys)
+	inst := plan.Instance{Dim: 10, TSize: 1, DSize: 0}
+	if tu.Predict(inst).Serial {
+		t.Fatal("constructed gate still predicts serial; the test needs a parallel prediction")
+	}
+	online := NewOnlineTuner(tu)
+	pred, st, err := online.Refine(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pred.Serial {
+		t.Fatalf("refined prediction = %v, want the serial fallback", pred)
+	}
+	serialNs := engine.SerialNs(sys, inst)
+	if st.FinalNs != serialNs {
+		t.Errorf("FinalNs = %v, want the serial baseline %v", st.FinalNs, serialNs)
+	}
+	if st.StartNs <= serialNs {
+		t.Errorf("start %v should have been worse than serial %v", st.StartNs, serialNs)
+	}
+}
+
+// TestRefineDecisionFromCachedSerial: refining a cached serial decision
+// probes the parallel alternative against the supplied baseline without
+// re-running the offline predict, and keeps whichever wins.
+func TestRefineDecisionFromCachedSerial(t *testing.T) {
+	tu := trainedTuner(t, hw.I7_2600K())
+	online := NewOnlineTuner(tu)
+	inst := plan.Instance{Dim: 20, TSize: 1, DSize: 0}
+	dec := Prediction{Serial: true, Par: engine.CPUOnlyParams(8)}
+	serialNs := engine.SerialNs(tu.Sys, inst)
+	pred, st, err := online.RefineDecisionContext(context.Background(), inst, dec, serialNs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Probes != 1 {
+		t.Errorf("probes = %d, want exactly 1 (the parallel alternative)", st.Probes)
+	}
+	if st.StartNs != serialNs {
+		t.Errorf("StartNs = %v, want the supplied baseline %v", st.StartNs, serialNs)
+	}
+	if pred.Serial && st.FinalNs != serialNs {
+		t.Errorf("kept serial but FinalNs = %v != baseline %v", st.FinalNs, serialNs)
+	}
+	if !pred.Serial && st.FinalNs >= serialNs {
+		t.Errorf("switched to parallel without beating the baseline: %v >= %v", st.FinalNs, serialNs)
+	}
+}
+
+// TestRefineFromUnmeasurableStart: an invalid starting configuration is
+// an error, not a silent no-op.
+func TestRefineFromUnmeasurableStart(t *testing.T) {
+	tu := trainedTuner(t, hw.I7_2600K())
+	online := NewOnlineTuner(tu)
+	inst := plan.Instance{Dim: 500, TSize: 100, DSize: 1}
+	if _, _, err := online.RefineFrom(inst, plan.Params{CPUTile: 0, Band: -1, GPUTile: 1, Halo: -1}); err == nil {
+		t.Error("unbuildable start must fail")
+	}
+}
+
+// TestRefineFromContextCanceled: a canceled context stops the climb at
+// the next probe and surfaces the incumbent with ctx's error.
+func TestRefineFromContextCanceled(t *testing.T) {
+	tu := trainedTuner(t, hw.I7_2600K())
+	online := NewOnlineTuner(tu)
+	inst := plan.Instance{Dim: 1500, TSize: 2000, DSize: 1}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, st, err := online.RefineFromContext(ctx, inst, plan.Params{CPUTile: 8, Band: -1, GPUTile: 1, Halo: -1})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st.Probes > 1 {
+		t.Errorf("canceled refinement still probed %d times", st.Probes)
 	}
 }
 

@@ -25,6 +25,17 @@ const searchCSVHeader = "system,dim,tsize,dsize,cpu_tile,band,gpu_tile,halo,rtim
 // spelling is shared with plan-cache keys via Instance.ShapeString.
 func shapeField(inst plan.Instance) string { return inst.ShapeString() }
 
+// writeSearchRow writes one data row of the search-CSV format. It is the
+// single definition of the column layout, shared by SearchResult.WriteCSV
+// and ObservationLog.Append so the two writers cannot drift apart.
+func writeSearchRow(w io.Writer, system string, inst plan.Instance, par plan.Params, rtimeNs float64, censored bool) {
+	fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%d,%s,%t\n",
+		system, shapeField(inst),
+		strconv.FormatFloat(inst.TSize, 'g', -1, 64), inst.DSize,
+		par.CPUTile, par.Band, par.GPUTile, par.Halo,
+		strconv.FormatFloat(rtimeNs, 'g', -1, 64), censored)
+}
+
 // parseShapeField inverts shapeField into an instance shape.
 func parseShapeField(s string) (plan.Instance, error) {
 	if r, c, ok := strings.Cut(s, "x"); ok {
@@ -49,11 +60,7 @@ func (sr *SearchResult) WriteCSV(w io.Writer) error {
 	for i := range sr.Instances {
 		ir := &sr.Instances[i]
 		for _, p := range ir.Points {
-			fmt.Fprintf(bw, "%s,%s,%s,%d,%d,%d,%d,%d,%s,%t\n",
-				sr.Sys.Name, shapeField(p.Inst),
-				strconv.FormatFloat(p.Inst.TSize, 'g', -1, 64), p.Inst.DSize,
-				p.Par.CPUTile, p.Par.Band, p.Par.GPUTile, p.Par.Halo,
-				strconv.FormatFloat(p.RTimeNs, 'g', -1, 64), p.Censored)
+			writeSearchRow(bw, sr.Sys.Name, p.Inst, p.Par, p.RTimeNs, p.Censored)
 		}
 	}
 	return bw.Flush()

@@ -120,6 +120,21 @@ func SerialNs(sys hw.System, inst plan.Instance) float64 {
 	return float64(inst.Cells()) * per
 }
 
+// MeasureNs returns the modeled runtime of actually executing a tuning
+// decision on sys — the stand-in for wall-clock timing a real run, used
+// by the job executor: the optimized sequential baseline when serial is
+// set, otherwise the uncensored hybrid estimate of par.
+func MeasureNs(sys hw.System, inst plan.Instance, serial bool, par plan.Params) (float64, error) {
+	if serial {
+		return SerialNs(sys, inst), nil
+	}
+	res, err := Estimate(sys, inst, par, Options{})
+	if err != nil {
+		return 0, err
+	}
+	return res.RTimeNs, nil
+}
+
 // gpuSchedule captures the device-side choreography of the GPU phase so
 // the analytic and functional paths walk identical structures.
 type gpuSchedule struct {

@@ -1,0 +1,515 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/hw"
+)
+
+// record is one job's mutable state. All fields except the immutable
+// id/spec/ctx/cancel are guarded by the manager's mutex; done closes
+// exactly when the record reaches a terminal state.
+type record struct {
+	id     string
+	spec   Spec
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	state           State
+	cancelRequested bool
+	err             string
+	created         time.Time
+	started         time.Time
+	finished        time.Time
+	result          *Result
+}
+
+// snapshot copies the record into an immutable Job. Caller holds the
+// manager's mutex.
+func (r *record) snapshot() Job {
+	j := Job{
+		ID: r.id, Spec: r.spec, State: r.state,
+		CancelRequested: r.cancelRequested, Err: r.err,
+		Created: r.created, Started: r.started, Finished: r.finished,
+	}
+	if r.result != nil {
+		res := *r.result
+		if r.result.Refine != nil {
+			st := *r.result.Refine
+			res.Refine = &st
+		}
+		j.Result = &res
+	}
+	return j
+}
+
+// Manager owns the queue, the worker pool and the job records.
+type Manager struct {
+	cfg     Config
+	systems map[string]hw.System
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queues  [numPriorities][]*record
+	records map[string]*record
+	// finished holds terminal records in completion order for pruning.
+	finished []*record
+	seq      int
+	queuedN  int
+	running  int
+	started  bool
+	closed   bool
+	abort    bool
+	stats    Stats
+
+	wg sync.WaitGroup
+}
+
+// New validates cfg and returns the manager; the worker pool starts
+// lazily on the first submission.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Plans == nil {
+		return nil, fmt.Errorf("jobs: Config.Plans is required")
+	}
+	if len(cfg.Systems) == 0 {
+		cfg.Systems = hw.Systems()
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = DefaultWorkers
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.MaxRecords <= 0 {
+		cfg.MaxRecords = DefaultMaxRecords
+	}
+	m := &Manager{
+		cfg:     cfg,
+		systems: make(map[string]hw.System, len(cfg.Systems)),
+		records: make(map[string]*record),
+	}
+	for _, sys := range cfg.Systems {
+		if sys.Name == "" {
+			return nil, fmt.Errorf("jobs: system with empty name")
+		}
+		if _, dup := m.systems[sys.Name]; dup {
+			return nil, fmt.Errorf("jobs: duplicate system %q", sys.Name)
+		}
+		m.systems[sys.Name] = sys
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m, nil
+}
+
+// startLocked spawns the worker pool on the first submission, so a
+// manager that never receives a job (e.g. a server constructed only to
+// mount its handler) costs no goroutines. Caller holds m.mu.
+func (m *Manager) startLocked() {
+	if m.started {
+		return
+	}
+	m.started = true
+	m.wg.Add(m.cfg.Workers)
+	for i := 0; i < m.cfg.Workers; i++ {
+		go m.worker()
+	}
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+// Submit validates spec and admits it into the queue. The returned
+// snapshot is taken before any worker can pick the job up, so its state
+// is always StateQueued. ErrQueueFull reports admission-control
+// rejection; ErrClosed a manager already shutting down.
+func (m *Manager) Submit(spec Spec) (Job, error) {
+	if _, ok := m.systems[spec.System]; !ok {
+		return Job{}, fmt.Errorf("jobs: unknown system %q", spec.System)
+	}
+	if err := spec.Inst.Validate(); err != nil {
+		return Job{}, err
+	}
+	spec.Inst = spec.Inst.Normalize()
+	if spec.Priority < 0 || spec.Priority >= numPriorities {
+		return Job{}, fmt.Errorf("jobs: invalid priority %d", spec.Priority)
+	}
+	if spec.Refine && m.cfg.Tuners == nil {
+		return Job{}, fmt.Errorf("jobs: refinement not configured (no tuner source)")
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return Job{}, ErrClosed
+	}
+	if m.queuedN >= m.cfg.QueueDepth {
+		m.stats.Rejected++
+		m.mu.Unlock()
+		return Job{}, ErrQueueFull
+	}
+	m.startLocked()
+	m.seq++
+	ctx, cancel := context.WithCancel(context.Background())
+	rec := &record{
+		id: fmt.Sprintf("job-%08d", m.seq), spec: spec,
+		ctx: ctx, cancel: cancel, done: make(chan struct{}),
+		state: StateQueued, created: time.Now(),
+	}
+	m.records[rec.id] = rec
+	m.queues[spec.Priority] = append(m.queues[spec.Priority], rec)
+	m.queuedN++
+	m.stats.Submitted++
+	snap := rec.snapshot()
+	m.cond.Signal()
+	m.mu.Unlock()
+	// Logf runs outside the critical section: it may be arbitrarily slow
+	// (or call back into the manager) without stalling the pool.
+	m.logf("job %s queued: %s %s priority=%s refine=%t",
+		rec.id, spec.System, spec.Inst, spec.Priority, spec.Refine)
+	return snap, nil
+}
+
+// Get returns a snapshot of the job with the given ID.
+func (m *Manager) Get(id string) (Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rec, ok := m.records[id]
+	if !ok {
+		return Job{}, false
+	}
+	return rec.snapshot(), true
+}
+
+// Await blocks until the job reaches a terminal state (or ctx is done)
+// and returns its final snapshot.
+func (m *Manager) Await(ctx context.Context, id string) (Job, error) {
+	m.mu.Lock()
+	rec, ok := m.records[id]
+	m.mu.Unlock()
+	if !ok {
+		return Job{}, ErrNotFound
+	}
+	select {
+	case <-rec.done:
+	case <-ctx.Done():
+		return Job{}, ctx.Err()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return rec.snapshot(), nil
+}
+
+// List returns snapshots of the retained jobs matching f, in submission
+// order.
+func (m *Manager) List(f Filter) []Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Job, 0, len(m.records))
+	for _, rec := range m.records {
+		if f.State != nil && rec.state != *f.State {
+			continue
+		}
+		if f.System != "" && rec.spec.System != f.System {
+			continue
+		}
+		out = append(out, rec.snapshot())
+	}
+	// IDs are zero-padded sequence numbers, so lexicographic order is
+	// submission order.
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Cancel cancels a job: a queued job is removed from the queue and
+// finishes canceled immediately; a running job has its context canceled
+// and finishes once the worker observes it (the returned snapshot then
+// still reports StateRunning with CancelRequested set). Canceling an
+// already finished job returns its snapshot with ErrFinished.
+func (m *Manager) Cancel(id string) (Job, error) {
+	m.mu.Lock()
+	rec, ok := m.records[id]
+	if !ok {
+		m.mu.Unlock()
+		return Job{}, ErrNotFound
+	}
+	var msg string
+	switch rec.state {
+	case StateQueued:
+		q := m.queues[rec.spec.Priority]
+		for i, r := range q {
+			if r == rec {
+				m.queues[rec.spec.Priority] = append(q[:i:i], q[i+1:]...)
+				break
+			}
+		}
+		m.queuedN--
+		rec.cancelRequested = true
+		m.finishLocked(rec, StateCanceled, nil, "")
+		msg = "canceled while queued"
+	case StateRunning:
+		rec.cancelRequested = true
+		rec.cancel()
+		msg = "cancellation requested"
+	default:
+		snap := rec.snapshot()
+		m.mu.Unlock()
+		return snap, ErrFinished
+	}
+	snap := rec.snapshot()
+	m.mu.Unlock()
+	m.logf("job %s %s", rec.id, msg)
+	return snap, nil
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.Queued = m.queuedN
+	s.Running = m.running
+	s.Workers = m.cfg.Workers
+	s.QueueDepth = m.cfg.QueueDepth
+	return s
+}
+
+// finishLocked transitions a record into a terminal state (closing its
+// done channel exactly once), updates the outcome counters and prunes
+// old finished records beyond the retention bound. Caller holds m.mu.
+func (m *Manager) finishLocked(rec *record, state State, res *Result, errMsg string) {
+	rec.state = state
+	rec.result = res
+	rec.err = errMsg
+	if state != StateCanceled {
+		// A cancel request that lost the race to completion is moot; the
+		// flag only means "cancellation still pending" while running.
+		rec.cancelRequested = false
+	}
+	rec.finished = time.Now()
+	rec.cancel() // release the context's resources
+	close(rec.done)
+	switch state {
+	case StateSucceeded:
+		m.stats.Succeeded++
+		if rec.spec.Refine {
+			m.stats.Refined++
+		}
+	case StateFailed:
+		m.stats.Failed++
+	case StateCanceled:
+		m.stats.Canceled++
+	}
+	m.finished = append(m.finished, rec)
+	for len(m.finished) > m.cfg.MaxRecords {
+		old := m.finished[0]
+		m.finished = m.finished[1:]
+		delete(m.records, old.id)
+	}
+}
+
+// abortGrace bounds how long an aborted Shutdown waits for workers to
+// observe their canceled contexts. Cancellation is cooperative: a
+// worker stuck inside a non-cancelable stage (e.g. a lazy tuner
+// training run inside the plan fetch) cannot react until that call
+// returns, and Shutdown must not be held hostage by it.
+const abortGrace = 2 * time.Second
+
+// Shutdown stops admission and drains: workers finish their running
+// jobs and keep working the queue until it is empty. If ctx expires
+// first, remaining queued jobs are canceled, running jobs' contexts are
+// canceled (they finish canceled at their next cancellation point), and
+// ctx's error is returned once the workers exit or an abortGrace period
+// passes — a worker blocked in a non-cancelable call then finishes (and
+// records its job's outcome) in the background.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+	}
+
+	m.mu.Lock()
+	m.abort = true
+	for pri := range m.queues {
+		for _, rec := range m.queues[pri] {
+			m.queuedN--
+			rec.cancelRequested = true
+			m.finishLocked(rec, StateCanceled, nil, "")
+		}
+		m.queues[pri] = nil
+	}
+	for _, rec := range m.records {
+		if rec.state == StateRunning {
+			rec.cancelRequested = true
+			rec.cancel()
+		}
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	select {
+	case <-done:
+	case <-time.After(abortGrace):
+	}
+	return ctx.Err()
+}
+
+// worker is the pool loop: pop the next job, run it, repeat until the
+// manager shuts down and the queue is drained (or aborted).
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		rec := m.next()
+		if rec == nil {
+			return
+		}
+		m.run(rec)
+	}
+}
+
+// next blocks until a job is available and marks it running. It returns
+// nil when the manager is closed and the queue is empty, or immediately
+// on abort.
+func (m *Manager) next() *record {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if m.abort {
+			return nil
+		}
+		for _, pri := range popOrder {
+			if q := m.queues[pri]; len(q) > 0 {
+				rec := q[0]
+				m.queues[pri] = q[1:]
+				m.queuedN--
+				rec.state = StateRunning
+				rec.started = time.Now()
+				m.running++
+				return rec
+			}
+		}
+		if m.closed {
+			return nil
+		}
+		m.cond.Wait()
+	}
+}
+
+// run executes one job and records its outcome.
+func (m *Manager) run(rec *record) {
+	res, err := m.execute(rec)
+	var msg string
+	m.mu.Lock()
+	m.running--
+	switch {
+	case err == nil:
+		// A completed execution wins over a cancellation that raced in
+		// after the work (and its side effects, e.g. the training-log
+		// append) already happened: cancel is best-effort.
+		m.finishLocked(rec, StateSucceeded, res, "")
+		msg = fmt.Sprintf("job %s succeeded: %s measured %.3gs (%s)",
+			rec.id, res.Par, res.MeasuredNs/1e9, res.Cache)
+	case rec.ctx.Err() != nil:
+		// The context is only ever canceled by Cancel or an aborted
+		// drain, so an error with a done context means the execution was
+		// cut short deliberately. Keep any unrelated failure visible in
+		// the log — it may be persistent and matter beyond this job.
+		m.finishLocked(rec, StateCanceled, nil, "")
+		if errors.Is(err, context.Canceled) {
+			msg = fmt.Sprintf("job %s canceled while running", rec.id)
+		} else {
+			msg = fmt.Sprintf("job %s canceled while running (execution also returned: %v)", rec.id, err)
+		}
+	default:
+		m.finishLocked(rec, StateFailed, nil, err.Error())
+		msg = fmt.Sprintf("job %s failed: %v", rec.id, err)
+	}
+	m.mu.Unlock()
+	m.logf("%s", msg)
+}
+
+// execute runs the job body: fetch the tuned plan, optionally refine it
+// online, and measure the execution on the modeled system. The record's
+// context is checked between stages (and, during refinement, between
+// probes) for cooperative cancellation.
+func (m *Manager) execute(rec *record) (*Result, error) {
+	spec := rec.spec
+	ctx := rec.ctx
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	p, outcome, err := m.cfg.Plans(spec.System, spec.Inst)
+	if err != nil {
+		return nil, fmt.Errorf("fetching plan: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Serial: p.Serial, Par: p.Par, Cache: outcome.String(),
+		PredictedNs: p.RTimeNs, SerialNs: p.SerialNs,
+	}
+	sys := m.systems[spec.System]
+
+	if !spec.Refine {
+		ns, err := engine.MeasureNs(sys, spec.Inst, p.Serial, p.Par)
+		if err != nil {
+			return nil, fmt.Errorf("executing: %w", err)
+		}
+		res.MeasuredNs = ns
+		return res, nil
+	}
+
+	tuner, err := m.cfg.Tuners(spec.System)
+	if err != nil {
+		return nil, fmt.Errorf("resolving tuner: %w", err)
+	}
+	online := &core.OnlineTuner{Base: tuner, Budget: m.cfg.RefineBudget}
+	// Refine the cached decision itself (no second offline predict), so
+	// the reported Cache/PredictedNs always describe the configuration
+	// the refinement actually started from.
+	pred, st, err := online.RefineDecisionContext(ctx, spec.Inst,
+		core.Prediction{Serial: p.Serial, Par: p.Par}, p.SerialNs)
+	if err != nil {
+		return nil, fmt.Errorf("refining: %w", err)
+	}
+	res.Serial, res.Par = pred.Serial, pred.Par
+	res.MeasuredNs = st.FinalNs
+	res.Refine = &st
+
+	// Feedback: persist the measured configuration for retraining.
+	// Serial outcomes are skipped — the baseline is not a search point,
+	// so logging it would mislabel the training row.
+	if m.cfg.TrainingLog != nil && !pred.Serial {
+		obs := core.Observation{Inst: spec.Inst, Par: pred.Par, RTimeNs: st.FinalNs}
+		if lerr := m.cfg.TrainingLog.Append(spec.System, obs); lerr != nil {
+			m.logf("job %s: training-log append failed: %v", rec.id, lerr)
+		} else {
+			m.mu.Lock()
+			m.stats.TrainingRows++
+			m.mu.Unlock()
+		}
+	}
+	return res, nil
+}

@@ -6,13 +6,20 @@
 // are served through a tunecache.Cache, so repeated and concurrent
 // requests for one workload cost a single tuner evaluation, and tuners
 // themselves are loaded (or trained) lazily per system on first use.
+// Beyond one-shot predictions, the daemon runs whole tuned wavefront
+// jobs asynchronously through internal/jobs (POST /v1/jobs), with
+// optional online refinement feeding a persisted training log.
 //
 // Endpoints:
 //
-//	POST /v1/tune     predict tuned Params for an instance (cache-backed)
-//	GET  /v1/systems  list the served systems and tuner states
-//	GET  /v1/stats    cache counters, request counters, uptime
-//	GET  /healthz     liveness probe
+//	POST   /v1/tune       predict tuned Params for an instance (cache-backed)
+//	POST   /v1/jobs       submit an asynchronous tuned-execution job
+//	GET    /v1/jobs       list job records (filterable by state/system)
+//	GET    /v1/jobs/{id}  poll one job record
+//	DELETE /v1/jobs/{id}  cancel a queued or running job
+//	GET    /v1/systems    list the served systems and tuner states
+//	GET    /v1/stats      cache, job and request counters, uptime
+//	GET    /healthz       liveness probe
 package service
 
 import (
@@ -21,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"mime"
 	"net"
 	"net/http"
 	"os"
@@ -28,7 +36,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/hw"
+	"repro/internal/jobs"
 	"repro/internal/kernels"
 	"repro/internal/plan"
 	"repro/internal/tunecache"
@@ -49,8 +59,31 @@ type Config struct {
 	// CachePath, when set, warms the cache from this file at startup (if
 	// it exists) and writes it back on Shutdown.
 	CachePath string
+	// Jobs configures the asynchronous job subsystem; the zero value
+	// selects the jobs package defaults.
+	Jobs JobOptions
 	// Logf receives request-path log lines; nil disables logging.
 	Logf func(format string, args ...any)
+}
+
+// JobOptions is the service-level slice of jobs.Config: the bounds of
+// the worker pool and queue, the refinement budget, and where refined
+// jobs' measured observations are persisted for retraining.
+type JobOptions struct {
+	// Workers bounds the worker pool (<= 0 selects the jobs default).
+	Workers int
+	// QueueDepth bounds the queued-job count (<= 0 selects the jobs
+	// default); overflowing submissions are rejected with 429.
+	QueueDepth int
+	// RefineBudget caps probe measurements per refine job (<= 0 selects
+	// the online-tuner default).
+	RefineBudget int
+	// TrainingLogDir, when set, appends refined jobs' measured
+	// observations as per-system search-CSV files (wavetrain -from).
+	TrainingLogDir string
+	// MaxRecords bounds retained finished job records (<= 0 selects the
+	// jobs default).
+	MaxRecords int
 }
 
 // Server is the tuning daemon: an http.Handler plus the plan cache and
@@ -60,6 +93,7 @@ type Server struct {
 	systems map[string]hw.System
 	tuners  TunerSource
 	cache   *tunecache.Cache
+	jobs    *jobs.Manager
 	mux     *http.ServeMux
 	start   time.Time
 
@@ -68,6 +102,7 @@ type Server struct {
 	shutDown bool
 
 	tuneReqs   atomic.Uint64
+	jobReqs    atomic.Uint64
 	statsReqs  atomic.Uint64
 	sysReqs    atomic.Uint64
 	healthReqs atomic.Uint64
@@ -108,8 +143,38 @@ func New(cfg Config) (*Server, error) {
 			s.logf("ignoring unreadable cache file %s: %v", cfg.CachePath, err)
 		}
 	}
+	var trainLog *core.ObservationLog
+	if cfg.Jobs.TrainingLogDir != "" {
+		var err error
+		if trainLog, err = core.NewObservationLog(cfg.Jobs.TrainingLogDir); err != nil {
+			return nil, err
+		}
+	}
+	var err error
+	s.jobs, err = jobs.New(jobs.Config{
+		Systems: cfg.Systems,
+		Plans:   s.cache.Get,
+		Tuners: func(name string) (*core.Tuner, error) {
+			sys, ok := s.systems[name]
+			if !ok {
+				return nil, fmt.Errorf("service: unknown system %q", name)
+			}
+			return s.tuners.Tuner(sys)
+		},
+		Workers:      cfg.Jobs.Workers,
+		QueueDepth:   cfg.Jobs.QueueDepth,
+		RefineBudget: cfg.Jobs.RefineBudget,
+		TrainingLog:  trainLog,
+		MaxRecords:   cfg.Jobs.MaxRecords,
+		Logf:         cfg.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/tune", s.handleTune)
+	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
+	s.mux.HandleFunc("/v1/jobs/", s.handleJobByID)
 	s.mux.HandleFunc("/v1/systems", s.handleSystems)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
@@ -124,6 +189,9 @@ func (s *Server) logf(format string, args ...any) {
 
 // Cache returns the plan cache (counters, persistence).
 func (s *Server) Cache() *tunecache.Cache { return s.cache }
+
+// Jobs returns the asynchronous job manager behind /v1/jobs.
+func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 
 // Handler returns the HTTP handler tree, for mounting under httptest or a
 // caller-owned http.Server.
@@ -217,6 +285,26 @@ func (s *Server) writeError(w http.ResponseWriter, code int, format string, args
 	s.writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
+// checkJSONBody enforces content-type hygiene on endpoints that decode
+// a JSON body: an absent Content-Type is tolerated, and so is curl's
+// bare `-d` default (application/x-www-form-urlencoded) since the
+// daemon never parses forms and every documented example posts JSON
+// that way; anything else must parse as application/json. It writes the
+// 415 itself and reports whether the caller may proceed.
+func (s *Server) checkJSONBody(w http.ResponseWriter, r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return true
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err == nil && (mt == "application/json" || mt == "application/x-www-form-urlencoded") {
+		return true
+	}
+	s.writeError(w, http.StatusUnsupportedMediaType,
+		"Content-Type %q not supported; use application/json", ct)
+	return false
+}
+
 // maxServedSide caps the accepted instance side length. The paper's
 // largest instance is dim 3100; the cap leaves three orders of magnitude
 // of headroom while keeping per-request work (and the knapsack kernel's
@@ -279,6 +367,9 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		s.writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if !s.checkJSONBody(w, r) {
 		return
 	}
 	s.tuneReqs.Add(1)
@@ -367,11 +458,15 @@ func (s *Server) handleSystems(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, map[string]any{"systems": infos})
 }
 
-// StatsResponse is the body of GET /v1/stats.
+// StatsResponse is the body of GET /v1/stats. Cache is the aggregate
+// counter blob; CacheBySystem breaks the same counters down per served
+// system, so a multi-platform daemon shows where its traffic lands.
 type StatsResponse struct {
-	UptimeSec float64           `json:"uptime_sec"`
-	Cache     tunecache.Stats   `json:"cache"`
-	Requests  map[string]uint64 `json:"requests"`
+	UptimeSec     float64                    `json:"uptime_sec"`
+	Cache         tunecache.Stats            `json:"cache"`
+	CacheBySystem map[string]tunecache.Stats `json:"cache_by_system"`
+	Jobs          jobs.Stats                 `json:"jobs"`
+	Requests      map[string]uint64          `json:"requests"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -382,10 +477,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	s.statsReqs.Add(1)
 	s.writeJSON(w, http.StatusOK, StatsResponse{
-		UptimeSec: time.Since(s.start).Seconds(),
-		Cache:     s.cache.Stats(),
+		UptimeSec:     time.Since(s.start).Seconds(),
+		Cache:         s.cache.Stats(),
+		CacheBySystem: s.cache.SystemStats(),
+		Jobs:          s.jobs.Stats(),
 		Requests: map[string]uint64{
 			"tune":    s.tuneReqs.Load(),
+			"jobs":    s.jobReqs.Load(),
 			"systems": s.sysReqs.Load(),
 			"stats":   s.statsReqs.Load(),
 			"healthz": s.healthReqs.Load(),
@@ -431,8 +529,11 @@ func (s *Server) Serve(l net.Listener) error {
 }
 
 // Shutdown gracefully stops an active Serve/ListenAndServe (in-flight
-// requests drain until ctx expires) and, when Config.CachePath is set,
-// persists the plan cache so the next start is warm.
+// requests drain until ctx expires), drains the job subsystem (running
+// and queued jobs complete, or are canceled once ctx expires; the
+// training log is write-through, so every appended observation is
+// already persisted), and, when Config.CachePath is set, persists the
+// plan cache so the next start is warm.
 func (s *Server) Shutdown(ctx context.Context) error {
 	var err error
 	s.httpMu.Lock()
@@ -441,6 +542,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.httpMu.Unlock()
 	if srv != nil {
 		err = srv.Shutdown(ctx)
+	}
+	if jerr := s.jobs.Shutdown(ctx); jerr != nil {
+		s.logf("job drain cut short: %v", jerr)
+		err = errors.Join(err, jerr)
 	}
 	if s.cfg.CachePath != "" {
 		if serr := s.cache.SaveFile(s.cfg.CachePath); serr != nil {

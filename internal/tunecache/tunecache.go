@@ -110,6 +110,7 @@ type Cache struct {
 	entries map[string]*entry
 	lru     *list.List // front = most recently used; values are *entry
 	stats   Stats
+	bySys   map[string]*Stats
 }
 
 // New creates a cache bounded to capacity resident plans (DefaultCapacity
@@ -123,7 +124,35 @@ func New(capacity int, predict PredictFunc) *Cache {
 		predict: predict,
 		entries: make(map[string]*entry),
 		lru:     list.New(),
+		bySys:   make(map[string]*Stats),
 	}
+}
+
+// maxTrackedSystems bounds the per-system counter map: unlike the
+// entries, counters survive eviction, so a caller feeding unbounded
+// distinct system names must not leak memory. Beyond the bound, new
+// names aggregate under OverflowSystem.
+const maxTrackedSystems = 1024
+
+// OverflowSystem is the SystemStats key aggregating counters of systems
+// beyond the tracking bound.
+const OverflowSystem = "(other)"
+
+// sysStatsLocked returns (creating if needed) the named system's counter
+// block. Caller holds c.mu.
+func (c *Cache) sysStatsLocked(system string) *Stats {
+	if st, ok := c.bySys[system]; ok {
+		return st
+	}
+	if len(c.bySys) >= maxTrackedSystems {
+		if st, ok := c.bySys[OverflowSystem]; ok {
+			return st
+		}
+		system = OverflowSystem
+	}
+	st := &Stats{}
+	c.bySys[system] = st
+	return st
 }
 
 // Key returns the cache key for a system/instance pair: the system name
@@ -153,12 +182,14 @@ func (c *Cache) Get(system string, inst plan.Instance) (Plan, Outcome, error) {
 			// Resident.
 			c.lru.MoveToFront(e.elem)
 			c.stats.Hits++
+			c.sysStatsLocked(system).Hits++
 			val := e.val
 			c.mu.Unlock()
 			return val, Hit, nil
 		}
 		// In flight: join it.
 		c.stats.Coalesced++
+		c.sysStatsLocked(system).Coalesced++
 		c.mu.Unlock()
 		<-e.done
 		return e.val, Coalesced, e.err
@@ -168,6 +199,7 @@ func (c *Cache) Get(system string, inst plan.Instance) (Plan, Outcome, error) {
 	e := &entry{key: k, sys: system, inst: inst, done: make(chan struct{})}
 	c.entries[k] = e
 	c.stats.Misses++
+	c.sysStatsLocked(system).Misses++
 	c.mu.Unlock()
 
 	// A panicking predict must still settle the flight, or every waiter
@@ -186,6 +218,7 @@ func (c *Cache) Get(system string, inst plan.Instance) (Plan, Outcome, error) {
 	e.val, e.err = val, err
 	if err != nil {
 		c.stats.Errors++
+		c.sysStatsLocked(system).Errors++
 		delete(c.entries, k)
 	} else {
 		e.elem = c.lru.PushFront(e)
@@ -238,6 +271,7 @@ func (c *Cache) evictLocked() {
 		c.lru.Remove(back)
 		delete(c.entries, e.key)
 		c.stats.Evictions++
+		c.sysStatsLocked(e.sys).Evictions++
 	}
 }
 
@@ -259,4 +293,31 @@ func (c *Cache) Stats() Stats {
 	s.Size = c.lru.Len()
 	s.Capacity = c.cap
 	return s
+}
+
+// SystemStats returns per-system snapshots of the counters: how each
+// served platform's traffic is hitting the cache. Size counts that
+// system's resident plans; Capacity is the shared LRU bound. Systems
+// that only ever entered via Put/Load appear with zero lookup counters
+// but a non-zero Size.
+func (c *Cache) SystemStats() map[string]Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sizes := make(map[string]int)
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		sizes[el.Value.(*entry).sys]++
+	}
+	out := make(map[string]Stats, len(c.bySys))
+	for sys, st := range c.bySys {
+		s := *st
+		s.Size = sizes[sys]
+		s.Capacity = c.cap
+		out[sys] = s
+	}
+	for sys, n := range sizes {
+		if _, ok := out[sys]; !ok {
+			out[sys] = Stats{Size: n, Capacity: c.cap}
+		}
+	}
+	return out
 }

@@ -359,3 +359,101 @@ func TestConcurrentMixedWorkload(t *testing.T) {
 		t.Errorf("size %d exceeds capacity 8", st.Size)
 	}
 }
+
+// TestSystemStats: the per-system breakdown must attribute every
+// counter to the system whose traffic caused it, including evictions
+// and Put-only residency.
+func TestSystemStats(t *testing.T) {
+	fail := errors.New("predict failed")
+	c := New(2, func(system string, in plan.Instance) (Plan, error) {
+		if system == "broken" {
+			return Plan{}, fail
+		}
+		return planFor(in.MaxSide()), nil
+	})
+
+	// sysA: one miss, one hit. sysB: one miss. broken: one error.
+	c.Get("sysA", inst(100))
+	c.Get("sysA", inst(100))
+	c.Get("sysB", inst(200))
+	if _, _, err := c.Get("broken", inst(300)); err == nil {
+		t.Fatal("broken system must fail")
+	}
+	// Two more sysB misses overflow the capacity-2 cache; the LRU victim
+	// is sysA's entry, then sysB's own oldest.
+	c.Get("sysB", inst(400))
+	c.Get("sysB", inst(500))
+
+	st := c.SystemStats()
+	a, b := st["sysA"], st["sysB"]
+	if a.Hits != 1 || a.Misses != 1 || a.Errors != 0 {
+		t.Errorf("sysA = %+v, want 1 hit 1 miss", a)
+	}
+	if a.Evictions != 1 || a.Size != 0 {
+		t.Errorf("sysA = %+v, want its entry evicted", a)
+	}
+	if b.Misses != 3 || b.Evictions != 1 || b.Size != 2 {
+		t.Errorf("sysB = %+v, want 3 misses 1 eviction size 2", b)
+	}
+	if br := st["broken"]; br.Errors != 1 || br.Misses != 1 || br.Size != 0 {
+		t.Errorf("broken = %+v, want 1 miss 1 error", br)
+	}
+	if a.Capacity != 2 || b.Capacity != 2 {
+		t.Errorf("capacity not propagated: %+v %+v", a, b)
+	}
+
+	// The aggregate must equal the sum of the parts.
+	agg := c.Stats()
+	var hits, misses, evs, errs uint64
+	var size int
+	for _, s := range st {
+		hits += s.Hits
+		misses += s.Misses
+		evs += s.Evictions
+		errs += s.Errors
+		size += s.Size
+	}
+	if hits != agg.Hits || misses != agg.Misses || evs != agg.Evictions || errs != agg.Errors || size != agg.Size {
+		t.Errorf("per-system sum (h%d m%d e%d x%d s%d) != aggregate %+v", hits, misses, evs, errs, size, agg)
+	}
+
+	// A system that only entered via Put still reports residency.
+	if err := c.Put("warmed", inst(900), planFor(900)); err != nil {
+		t.Fatal(err)
+	}
+	if w := c.SystemStats()["warmed"]; w.Size != 1 || w.Lookups() != 0 {
+		t.Errorf("warmed = %+v, want size 1 with zero lookups", w)
+	}
+}
+
+// TestSystemStatsBounded: per-system counters must not leak memory when
+// a caller feeds unbounded distinct system names — overflow aggregates
+// under OverflowSystem.
+func TestSystemStatsBounded(t *testing.T) {
+	c := New(4, func(system string, in plan.Instance) (Plan, error) {
+		return planFor(in.MaxSide()), nil
+	})
+	const n = 1200
+	for i := 0; i < n; i++ {
+		if _, _, err := c.Get(fmt.Sprintf("sys-%04d", i), inst(100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.SystemStats()
+	// Bound: the tracked counters, the overflow bucket, and a Size-only
+	// row per resident entry whose counters landed in the overflow.
+	if limit := maxTrackedSystems + 1 + c.Capacity(); len(st) > limit {
+		t.Errorf("tracked systems = %d, want <= %d", len(st), limit)
+	}
+	over := st[OverflowSystem]
+	if over.Misses == 0 {
+		t.Errorf("overflow bucket empty: %+v", over)
+	}
+	var misses uint64
+	for _, s := range st {
+		misses += s.Misses
+	}
+	if misses != n {
+		t.Errorf("total misses across buckets = %d, want %d", misses, n)
+	}
+}

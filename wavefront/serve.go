@@ -3,11 +3,15 @@ package wavefront
 // The serving surface: the paper's "train once, predict per instance"
 // deployment exposed as a long-running component. PlanCache memoizes
 // tuned decisions per (system, instance); TuningServer wraps it in the
-// HTTP protocol served by cmd/waved. As with the rest of this package,
-// the types are aliases of the internal implementation so downstream
-// code never imports repro/internal/... directly.
+// HTTP protocol served by cmd/waved; JobManager runs whole tuned
+// wavefront jobs asynchronously (queue, worker pool, cancellation,
+// online-refinement feedback into an ObservationLog). As with the rest
+// of this package, the types are aliases of the internal implementation
+// so downstream code never imports repro/internal/... directly.
 
 import (
+	"repro/internal/core"
+	"repro/internal/jobs"
 	"repro/internal/service"
 	"repro/internal/tunecache"
 )
@@ -26,8 +30,21 @@ type CacheStats = tunecache.Stats
 // key regardless of how many callers wait on it.
 type PredictFunc = tunecache.PredictFunc
 
-// TuningServer is the HTTP tuning daemon: POST /v1/tune, GET /v1/systems,
-// GET /v1/stats, GET /healthz.
+// CacheOutcome classifies how a PlanCache lookup was served.
+type CacheOutcome = tunecache.Outcome
+
+// The three lookup outcomes: resident (CacheHit), computed by this
+// caller (CacheMiss), or shared from a concurrent caller's in-flight
+// computation (CacheCoalesced).
+const (
+	CacheHit       = tunecache.Hit
+	CacheMiss      = tunecache.Miss
+	CacheCoalesced = tunecache.Coalesced
+)
+
+// TuningServer is the HTTP tuning daemon: POST /v1/tune, the
+// POST/GET/DELETE /v1/jobs job routes, GET /v1/systems, GET /v1/stats,
+// GET /healthz. Its job manager is reachable via Jobs().
 type TuningServer = service.Server
 
 // TuningConfig configures NewTuningServer.
@@ -73,4 +90,82 @@ func NewDirTunerSource(dir string) TunerSource {
 // system name.
 func NewStaticTunerSource(tuners ...*Tuner) TunerSource {
 	return service.NewStaticSource(tuners...)
+}
+
+// JobManager is the asynchronous job execution subsystem: a bounded
+// priority queue and worker pool running tuned wavefront jobs against
+// the modeled systems, with per-job lifecycle records, cooperative
+// cancellation, graceful drain and optional online-refinement feedback.
+type JobManager = jobs.Manager
+
+// JobConfig configures NewJobManager.
+type JobConfig = jobs.Config
+
+// JobSpec describes a submitted job (system, instance, priority,
+// refinement opt-in).
+type JobSpec = jobs.Spec
+
+// Job is an immutable snapshot of one job record.
+type Job = jobs.Job
+
+// JobResult is what a succeeded job executed and measured.
+type JobResult = jobs.Result
+
+// JobState is a job's lifecycle state; JobPriority its admission class.
+type JobState = jobs.State
+
+// JobPriority is a job's admission class.
+type JobPriority = jobs.Priority
+
+// JobFilter selects jobs in JobManager.List.
+type JobFilter = jobs.Filter
+
+// JobStats is a snapshot of a JobManager's counters.
+type JobStats = jobs.Stats
+
+// JobPlanFunc resolves the tuned plan for a job (JobConfig.Plans); pass
+// a PlanCache's Get method, or any custom resolver with this signature.
+type JobPlanFunc = jobs.PlanFunc
+
+// JobTunerFunc resolves the base tuner refine jobs climb around
+// (JobConfig.Tuners).
+type JobTunerFunc = jobs.TunerFunc
+
+// JobOptions is the service-level job configuration consumed by
+// TuningConfig.Jobs (worker/queue bounds, refine budget, training log).
+type JobOptions = service.JobOptions
+
+// Job lifecycle states and admission classes, re-exported for callers
+// outside the module.
+const (
+	JobQueued    = jobs.StateQueued
+	JobRunning   = jobs.StateRunning
+	JobSucceeded = jobs.StateSucceeded
+	JobFailed    = jobs.StateFailed
+	JobCanceled  = jobs.StateCanceled
+
+	JobPriorityLow    = jobs.PriorityLow
+	JobPriorityNormal = jobs.PriorityNormal
+	JobPriorityHigh   = jobs.PriorityHigh
+)
+
+// NewJobManager starts an asynchronous job manager from cfg (library
+// use without the HTTP daemon; the daemon's manager is reachable via
+// TuningServer.Jobs).
+func NewJobManager(cfg JobConfig) (*JobManager, error) {
+	return jobs.New(cfg)
+}
+
+// ObservationLog persists measured (instance, params, runtime)
+// observations as per-system search-CSV files that wavetrain -from can
+// fold into retraining.
+type ObservationLog = core.ObservationLog
+
+// Observation is one measured configuration for the ObservationLog.
+type Observation = core.Observation
+
+// NewObservationLog creates (if needed) dir and returns a log writing
+// per-system CSV files into it.
+func NewObservationLog(dir string) (*ObservationLog, error) {
+	return core.NewObservationLog(dir)
 }
