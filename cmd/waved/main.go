@@ -19,14 +19,19 @@
 //
 // Endpoints:
 //
-//	POST   /v1/tune       {"system":"i7-2600K","dim":1900,"app":"nash","rounds":2}
+//	POST   /v1/tune       {"system":"i7-2600K","dim":1900,"app":"nash","params":{"rounds":2}}
 //	POST   /v1/jobs       {"system":"i7-2600K","dim":1900,"app":"nash","refine":true}
 //	GET    /v1/jobs       job records (filter: ?state=queued&system=i7-2600K)
 //	GET    /v1/jobs/{id}  poll one job
 //	DELETE /v1/jobs/{id}  cancel a queued or running job
+//	GET    /v1/apps       application catalog (names, tsize/dsize, parameter schemas)
 //	GET    /v1/systems    served systems and tuner states
 //	GET    /v1/stats      cache, job and request counters
 //	GET    /healthz       liveness probe
+//
+// Named applications come from the registry (internal/apps, public
+// wavefront.RegisterApp); GET /v1/apps lists everything this daemon
+// accepts, including any workloads registered by embedding code.
 //
 // SIGINT/SIGTERM shut the server down gracefully: in-flight requests and
 // jobs drain, and with -cache-file the plan cache is persisted on

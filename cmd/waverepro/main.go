@@ -1,5 +1,6 @@
 // Command waverepro regenerates every table and figure of the paper's
-// evaluation section and prints them in order, optionally writing each
+// evaluation section and prints them in order — preceded by the
+// registered application catalog (apps.txt) — optionally writing each
 // artifact to a directory. With -full it uses the paper-scale search
 // space (several minutes); by default it runs the quick configuration.
 //
@@ -16,6 +17,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/apps"
 	"repro/internal/experiments"
 	"repro/internal/hw"
 )
@@ -53,6 +55,7 @@ func main() {
 		sink(name, content)
 	}
 
+	emit("apps.txt", apps.RenderCatalog())
 	emit("fig1.txt", experiments.Fig1(8))
 	fig2, err := experiments.Fig2()
 	check(err)

@@ -1,11 +1,13 @@
 // Command wavesweep runs the exhaustive tuning-space exploration of the
 // synthetic wavefront application on a modeled system (Section 4.1) and
 // prints the Figure 5 heatmaps, optionally dumping every evaluated point
-// as CSV.
+// as CSV (the app column of the dump names the synthetic trainer; see
+// -apps for the full application catalog the trained tuner deploys on).
 //
 // Usage:
 //
 //	wavesweep [-system i7-2600K] [-full] [-csv points.csv]
+//	wavesweep -apps
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/apps"
 	"repro/internal/experiments"
 	"repro/internal/hw"
 )
@@ -24,7 +27,13 @@ func main() {
 	sysName := flag.String("system", "i7-2600K", "system to sweep (i3-540, i7-2600K, i7-3820)")
 	full := flag.Bool("full", false, "use the full Table 3 space instead of the quick one")
 	csvPath := flag.String("csv", "", "write every evaluated point to this CSV file")
+	listApps := flag.Bool("apps", false, "print the application catalog and exit")
 	flag.Parse()
+
+	if *listApps {
+		fmt.Print(apps.RenderCatalog())
+		return
+	}
 
 	sys, ok := hw.ByName(*sysName)
 	if !ok {

@@ -1,12 +1,15 @@
 // Command wavetune deploys the trained autotuner on an application: it
 // predicts tuned parameters for the requested instance, compares the
 // predicted configuration against the simple baselines, and can execute
-// the run functionally on the simulated platform.
+// the run functionally on the simulated platform. Applications resolve
+// through the registry (internal/apps) — `-list` prints the catalog, and
+// app parameters are passed as repeated `-param name=value` flags.
 //
 // Usage:
 //
-//	wavetune [-system i7-2600K] [-app nash] [-dim 1900] [-rounds 2] [-run]
-//	wavetune -app seqcompare -dim 2700
+//	wavetune -list
+//	wavetune [-system i7-2600K] [-app nash] [-dim 1900] [-param rounds=2] [-run]
+//	wavetune -app swaffine -dim 2700 -param gap_open=12
 //	wavetune -app synthetic -tsize 4000 -dsize 5 -dim 1100
 package main
 
@@ -14,12 +17,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"strconv"
+	"strings"
 
+	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/hw"
-	"repro/internal/kernels"
 	"repro/internal/plan"
 )
 
@@ -27,38 +32,77 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("wavetune: ")
 	sysName := flag.String("system", "i7-2600K", "target system")
-	app := flag.String("app", "nash", "application: nash, seqcompare, synthetic, knapsack")
+	appName := flag.String("app", "nash", "application from the catalog (see -list)")
+	list := flag.Bool("list", false, "print the application catalog and exit")
 	dim := flag.Int("dim", 1900, "problem dimension")
-	rounds := flag.Int("rounds", 1, "nash: best-response rounds (tsize = 750*rounds)")
-	tsize := flag.Float64("tsize", 1000, "synthetic: task granularity")
-	dsize := flag.Int("dsize", 1, "synthetic: data granularity")
+	rounds := flag.Int("rounds", 1, "nash: best-response rounds (same as -param rounds=N)")
+	tsize := flag.Float64("tsize", 1000, "synthetic: task granularity (same as -param tsize=X)")
+	dsize := flag.Int("dsize", 1, "synthetic: data granularity (same as -param dsize=N)")
+	values := apps.Values{}
+	flag.Func("param", "application parameter name=value (repeatable)", func(s string) error {
+		name, val, ok := strings.Cut(s, "=")
+		if !ok {
+			return fmt.Errorf("want name=value, got %q", s)
+		}
+		x, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("parameter %s: %v", name, err)
+		}
+		values[name] = x
+		return nil
+	})
 	full := flag.Bool("full", false, "train on the full Table 3 space")
 	tunerPath := flag.String("tuner", "", "load a pre-trained tuner JSON (skips training)")
 	run := flag.Bool("run", false, "execute the tuned configuration functionally (small dims only)")
 	flag.Parse()
 
+	if *list {
+		fmt.Print(apps.RenderCatalog())
+		return
+	}
 	sys, ok := hw.ByName(*sysName)
 	if !ok {
 		log.Fatalf("unknown system %q", *sysName)
 	}
-	var k kernels.Kernel
-	switch *app {
-	case "nash":
-		k = kernels.NewNash(*rounds)
-	case "seqcompare":
-		k = kernels.NewSeqCompare()
-	case "synthetic":
-		k = kernels.NewSynthetic(int(*tsize), *dsize)
-	case "knapsack":
-		k = kernels.NewKnapsack(*dim)
-	default:
-		log.Fatalf("unknown app %q", *app)
+	a, ok := apps.Lookup(*appName)
+	if !ok {
+		log.Fatal(apps.UnknownAppError(*appName))
 	}
-	inst := plan.Instance{Dim: *dim, TSize: k.TSize(), DSize: k.DSize()}
+	// The classic flags map onto declared parameters of the same name;
+	// -param spellings win. A flag the user did not set only fills a
+	// Required parameter (so `-app synthetic` alone keeps working as it
+	// always has) — it must not clobber a registered app's own schema
+	// default for a parameter that happens to share a flag name.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	mergeFlag := func(name string, x float64) {
+		if spec, declared := a.Param(name); declared && (explicit[name] || spec.Required) {
+			a.MergeDeclared(values, name, x)
+		}
+	}
+	mergeFlag("rounds", float64(*rounds))
+	mergeFlag("tsize", *tsize)
+	mergeFlag("dsize", float64(*dsize))
+	inst, _, err := a.InstanceFor(*dim, *dim, values)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// For apps that do not declare tsize/dsize, an explicitly set flag
+	// overrides the app-derived granularity last — the same rule the
+	// daemon applies to top-level tsize/dsize in tune requests.
+	if explicit["tsize"] {
+		if _, declared := a.Param("tsize"); !declared {
+			inst.TSize = *tsize
+		}
+	}
+	if explicit["dsize"] {
+		if _, declared := a.Param("dsize"); !declared {
+			inst.DSize = *dsize
+		}
+	}
 
 	var tuner *core.Tuner
 	if *tunerPath != "" {
-		var err error
 		tuner, err = core.LoadTuner(*tunerPath)
 		if err != nil {
 			log.Fatal(err)
@@ -73,7 +117,6 @@ func main() {
 		}
 		cfg.Systems = []hw.System{sys}
 		ctx := experiments.NewContext(cfg)
-		var err error
 		tuner, err = ctx.Tuner(sys)
 		if err != nil {
 			log.Fatal(err)
@@ -81,7 +124,7 @@ func main() {
 	}
 
 	pred := tuner.Predict(inst)
-	fmt.Printf("application: %s (%v) on %s\n", k.Name(), inst, sys.Name)
+	fmt.Printf("application: %s (%v) on %s\n", a.Name, inst, sys.Name)
 	fmt.Printf("prediction: %v\n\n", pred)
 
 	serial := engine.SerialNs(sys, inst)
@@ -93,7 +136,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	gpuRes, err := engine.Estimate(sys, inst, engine.GPUOnlyParams(inst.Dim), engine.Options{})
+	gpuRes, err := engine.Estimate(sys, inst, engine.GPUOnlyParamsFor(inst), engine.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -111,7 +154,14 @@ func main() {
 		if *dim > 400 {
 			log.Fatalf("-run executes every cell functionally; use -dim <= 400")
 		}
-		res, g, err := engine.Simulate(sys, *dim, k, pred.Par)
+		// The kernel is only needed for functional execution; prediction
+		// runs never pay for its construction (e.g. knapsack's O(dim)
+		// weight table).
+		k, err := a.NewKernel(*dim, *dim, values)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, g, err := engine.SimulateInst(sys, plan.Instance{Dim: *dim}, k, pred.Par, engine.Options{})
 		if err != nil {
 			log.Fatal(err)
 		}

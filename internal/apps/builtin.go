@@ -1,0 +1,160 @@
+package apps
+
+// The built-in catalog: the paper's training application and its two
+// evaluation deployments, the knapsack recurrence the paper names as
+// future work, and the four extended workloads (affine-gap alignment,
+// LCS, DTW, Nussinov folding). Each entry is one registration — adding
+// a workload to the whole system (daemon, CLIs, docs check) means
+// adding one entry here or calling Register from downstream code.
+//
+// The catalog table in README.md ("Application catalog") is checked
+// against these registrations by scripts/check_app_docs.sh in CI.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/kernels"
+)
+
+func init() {
+	mustRegister(App{
+		Name:        "synthetic",
+		Description: "the paper's parameterizable training application (free tsize/dsize)",
+		Recurrence:  "tsize rounds of integer/float mixing per cell",
+		Ref:         "Section 3.1.1",
+		Params: []ParamSpec{
+			{Name: "tsize", Description: "task granularity in synthetic iterations", Required: true, Min: 1e-9, Max: 1e12},
+			{Name: "dsize", Description: "floats carried per cell", Required: true, Integer: true, Min: 0, Max: 1 << 20},
+		},
+		Granularity: func(v Values) (float64, int, error) {
+			return v["tsize"], int(v["dsize"]), nil
+		},
+		Kernel: func(rows, cols int, v Values) (kernels.Kernel, error) {
+			// The model works with the exact float tsize; the functional
+			// kernel quantizes it to whole iterations (minimum one), so a
+			// fractional tsize simulates at the nearest integer grain.
+			return kernels.NewSynthetic(int(math.Round(v["tsize"])), int(v["dsize"])), nil
+		},
+	})
+
+	mustRegister(App{
+		Name:        "nash",
+		Description: "Nash-equilibrium refinement by iterated best response (coarse-grained)",
+		Recurrence:  "rounds x strategies best-response scan per cell",
+		Ref:         "Sections 3.2.1, 4.2",
+		Params: []ParamSpec{
+			{Name: "rounds", Description: "best-response rounds (tsize = 750 per round)", Default: 1, Integer: true, Min: 1, Max: 1 << 20},
+		},
+		Granularity: func(v Values) (float64, int, error) {
+			return float64(kernels.NashTSizePerRound) * v["rounds"], kernels.NashDSize, nil
+		},
+		Kernel: func(rows, cols int, v Values) (kernels.Kernel, error) {
+			return kernels.NewNash(int(v["rounds"])), nil
+		},
+	})
+
+	mustRegister(App{
+		Name:        "seqcompare",
+		Description: "Smith-Waterman local alignment with linear gaps (fine-grained)",
+		Recurrence:  "H = max(0, diag+sub, up+gap, left+gap)",
+		Ref:         "Sections 3.2.1, 4.2",
+		Params: []ParamSpec{
+			{Name: "match", Description: "substitution score for equal bases", Default: 2, Integer: true, Min: -1 << 20, Max: 1 << 20},
+			{Name: "mismatch", Description: "substitution score for unequal bases", Default: -1, Integer: true, Min: -1 << 20, Max: 1 << 20},
+			{Name: "gap", Description: "linear gap score", Default: -1, Integer: true, Min: -1 << 20, Max: 1 << 20},
+		},
+		Granularity: func(v Values) (float64, int, error) {
+			return kernels.SeqCompareTSize, 0, nil
+		},
+		Kernel: func(rows, cols int, v Values) (kernels.Kernel, error) {
+			k := kernels.NewSeqCompare()
+			k.Match, k.Mismatch, k.Gap = int64(v["match"]), int64(v["mismatch"]), int64(v["gap"])
+			return k, nil
+		},
+	})
+
+	mustRegister(App{
+		Name:        "knapsack",
+		Description: "0/1 knapsack dynamic program (rows = items, cols = capacity)",
+		Recurrence:  "V = max(up, up-shifted-by-weight + value)",
+		Ref:         "Section 5 (future work)",
+		Granularity: func(v Values) (float64, int, error) {
+			// Shape-independent: a unit-sized probe kernel carries the
+			// granularity, so no O(rows) weight table is built per request.
+			k := kernels.NewKnapsack(1)
+			return k.TSize(), k.DSize(), nil
+		},
+		Kernel: func(rows, cols int, v Values) (kernels.Kernel, error) {
+			return kernels.NewKnapsack(rows), nil
+		},
+	})
+
+	mustRegister(App{
+		Name:        "swaffine",
+		Description: "Smith-Waterman local alignment with affine gaps (Gotoh, three matrices)",
+		Recurrence:  "E/F gap matrices + H = max(0, diag+sub, E, F)",
+		Ref:         "Gotoh 1982; extends seqcompare",
+		Params: []ParamSpec{
+			{Name: "match", Description: "substitution score for equal bases", Default: 5, Integer: true, Min: -1 << 20, Max: 1 << 20},
+			{Name: "mismatch", Description: "substitution score for unequal bases", Default: -4, Integer: true, Min: -1 << 20, Max: 1 << 20},
+			{Name: "gap_open", Description: "affine gap opening penalty (positive)", Default: 10, Integer: true, Min: 0, Max: 1 << 20},
+			{Name: "gap_extend", Description: "affine gap extension penalty (positive)", Default: 1, Integer: true, Min: 0, Max: 1 << 20},
+		},
+		Granularity: func(v Values) (float64, int, error) {
+			return kernels.SWAffineTSize, kernels.SWAffineDSize, nil
+		},
+		Kernel: func(rows, cols int, v Values) (kernels.Kernel, error) {
+			k := kernels.NewSWAffine()
+			k.Match, k.Mismatch = int64(v["match"]), int64(v["mismatch"])
+			k.GapOpen, k.GapExtend = int64(v["gap_open"]), int64(v["gap_extend"])
+			return k, nil
+		},
+	})
+
+	mustRegister(App{
+		Name:        "lcs",
+		Description: "longest common subsequence (the finest-grained catalog kernel)",
+		Recurrence:  "L = diag+1 on match, else max(up, left)",
+		Ref:         "textbook wavefront DP",
+		Granularity: func(v Values) (float64, int, error) {
+			return kernels.LCSTSize, 0, nil
+		},
+		Kernel: func(rows, cols int, v Values) (kernels.Kernel, error) {
+			return kernels.NewLCS(), nil
+		},
+	})
+
+	mustRegister(App{
+		Name:        "dtw",
+		Description: "dynamic time warping distance between two series (min-plus recurrence)",
+		Recurrence:  "D = |x-y| + min(diag, up, left)",
+		Ref:         "Sakoe-Chiba 1978",
+		Granularity: func(v Values) (float64, int, error) {
+			return kernels.DTWTSize, kernels.DTWDSize, nil
+		},
+		Kernel: func(rows, cols int, v Values) (kernels.Kernel, error) {
+			return kernels.NewDTW(), nil
+		},
+	})
+
+	mustRegister(App{
+		Name:        "nussinov",
+		Description: "Nussinov-style RNA folding (triangular live region, square only)",
+		Recurrence:  "N = max(up, left, diag + pair(i,j))",
+		Ref:         "Nussinov-Jacobson 1980; cf. Teodoro et al. (irregular wavefronts)",
+		SquareOnly:  true,
+		Params: []ParamSpec{
+			{Name: "min_loop", Description: "minimum hairpin loop length", Default: kernels.NussinovMinLoop, Integer: true, Min: 0, Max: 1 << 20},
+		},
+		Granularity: func(v Values) (float64, int, error) {
+			return kernels.NussinovTSize, 0, nil
+		},
+		Kernel: func(rows, cols int, v Values) (kernels.Kernel, error) {
+			if rows != cols {
+				return nil, fmt.Errorf("nussinov folds an n-base sequence on an n x n grid, got %dx%d", rows, cols)
+			}
+			return kernels.NewNussinov(int(v["min_loop"])), nil
+		},
+	})
+}

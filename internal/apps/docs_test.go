@@ -1,0 +1,114 @@
+package apps
+
+// TestCatalogDocs keeps README.md's "Application catalog" table and the
+// registry from drifting apart: every registered app must have a table
+// row whose name and granularity columns match the registration, every
+// table row must name a registered app, and every registration must
+// carry the catalog documentation fields. CI runs this via
+// scripts/check_app_docs.sh in the docs job.
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+)
+
+// readmeCatalogRows parses the "Application catalog" table out of
+// README.md: a map from app name (the backticked first column) to the
+// remaining columns [recurrence, tsize, dsize, shape, reference].
+func readmeCatalogRows(t *testing.T) map[string][]string {
+	t.Helper()
+	data, err := os.ReadFile("../../README.md")
+	if err != nil {
+		t.Fatalf("reading README.md: %v", err)
+	}
+	lines := strings.Split(string(data), "\n")
+	rows := map[string][]string{}
+	inSection := false
+	for _, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "## Application catalog"):
+			inSection = true
+			continue
+		case inSection && strings.HasPrefix(line, "## "):
+			return rows
+		case !inSection || !strings.HasPrefix(line, "|"):
+			continue
+		}
+		// Escaped pipes (\|) inside cells must not split; restore them
+		// after splitting.
+		const pipeEsc = "\x00"
+		escaped := strings.ReplaceAll(line, `\|`, pipeEsc)
+		cells := strings.Split(strings.Trim(escaped, "|"), "|")
+		for i := range cells {
+			cells[i] = strings.TrimSpace(strings.ReplaceAll(cells[i], pipeEsc, "|"))
+		}
+		if len(cells) < 2 || cells[0] == "App" || strings.HasPrefix(cells[0], "---") {
+			continue
+		}
+		name := strings.Trim(cells[0], "`")
+		rows[name] = cells[1:]
+	}
+	if !inSection {
+		t.Fatal(`README.md lacks an "## Application catalog" section`)
+	}
+	return rows
+}
+
+func TestCatalogDocs(t *testing.T) {
+	rows := readmeCatalogRows(t)
+	registered := All()
+
+	for _, a := range registered {
+		// Every registration must carry its catalog documentation.
+		if a.Description == "" || a.Recurrence == "" || a.Ref == "" {
+			t.Errorf("app %q lacks catalog documentation (description/recurrence/ref)", a.Name)
+		}
+		row, ok := rows[a.Name]
+		if !ok {
+			t.Errorf("registered app %q missing from the README application-catalog table", a.Name)
+			continue
+		}
+		if len(row) < 5 {
+			t.Errorf("README row for %q has %d columns, want recurrence|tsize|dsize|shape|reference", a.Name, len(row))
+			continue
+		}
+		wantT, wantD := "param", "param"
+		if ts, ds, ok := a.DefaultGranularity(); ok {
+			wantT, wantD = fmt.Sprintf("%g", ts), fmt.Sprintf("%d", ds)
+		}
+		// A granularity cell is either the registry value verbatim or a
+		// formula annotated with it in parentheses ("750·rounds (750)");
+		// substring matches are not accepted, so "11" cannot pass for 1.
+		cellMatches := func(cell, want string) bool {
+			return cell == want || strings.Contains(cell, "("+want+")")
+		}
+		if !cellMatches(row[1], wantT) {
+			t.Errorf("README tsize for %q = %q does not match registry %q", a.Name, row[1], wantT)
+		}
+		if !cellMatches(row[2], wantD) {
+			t.Errorf("README dsize for %q = %q does not match registry %q", a.Name, row[2], wantD)
+		}
+		wantShape := "any"
+		if a.SquareOnly {
+			wantShape = "square"
+		}
+		if row[3] != wantShape {
+			t.Errorf("README shape for %q = %q, want %q", a.Name, row[3], wantShape)
+		}
+		if row[0] == "" || row[4] == "" {
+			t.Errorf("README row for %q has empty recurrence or reference cells", a.Name)
+		}
+	}
+
+	names := map[string]bool{}
+	for _, a := range registered {
+		names[a.Name] = true
+	}
+	for name := range rows {
+		if !names[name] {
+			t.Errorf("README catalog lists %q, which is not registered", name)
+		}
+	}
+}

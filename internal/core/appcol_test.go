@@ -1,0 +1,101 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/plan"
+)
+
+// TestSearchCSVAppColumn: sweeps stamp the synthetic trainer into the
+// trailing app column.
+func TestSearchCSVAppColumn(t *testing.T) {
+	sr, err := Exhaustive(hw.I7_2600K(), tinySpace(), SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != searchCSVHeader {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasSuffix(searchCSVHeader, ",app") {
+		t.Fatalf("header %q lacks the app column", searchCSVHeader)
+	}
+	for _, line := range lines[1:] {
+		if !strings.HasSuffix(line, ",synthetic") {
+			t.Fatalf("sweep row %q not stamped with the synthetic app", line)
+		}
+	}
+}
+
+// TestReadCSVLegacyFormat: pre-app-column files (old header, 10-field
+// rows) must keep loading, and so must files where an observation log
+// appended 11-field rows below a legacy header.
+func TestReadCSVLegacyFormat(t *testing.T) {
+	legacy := strings.Join([]string{
+		legacySearchCSVHeader,
+		"i7-2600K,700,10,1,8,-1,1,-1,2.5e8,false",
+		"i7-2600K,700,10,1,8,300,4,-1,1.5e8,false",
+	}, "\n")
+	sr, err := ReadCSV(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatalf("legacy CSV rejected: %v", err)
+	}
+	if sr.Evaluations() != 2 {
+		t.Fatalf("evaluations = %d, want 2", sr.Evaluations())
+	}
+
+	mixed := legacy + "\n" + "i7-2600K,700,10,1,4,-1,1,-1,3e8,false,nash"
+	sr, err = ReadCSV(strings.NewReader(mixed))
+	if err != nil {
+		t.Fatalf("mixed legacy/current rows rejected: %v", err)
+	}
+	if sr.Evaluations() != 3 {
+		t.Fatalf("evaluations = %d, want 3", sr.Evaluations())
+	}
+
+	if _, err := ReadCSV(strings.NewReader(legacySearchCSVHeader + "\n" + "too,few,fields")); err == nil {
+		t.Error("malformed row accepted")
+	}
+}
+
+// TestObservationLogAppColumn: observations carry their app name into
+// the CSV, and the file round-trips through wavetrain's reader.
+func TestObservationLogAppColumn(t *testing.T) {
+	l, err := NewObservationLog(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := plan.Instance{Dim: 700, TSize: 1500, DSize: 4}
+	par := plan.Params{CPUTile: 8, Band: 300, GPUTile: 4, Halo: -1}
+	if err := l.Append("i7-2600K", Observation{Inst: inst, Par: par, RTimeNs: 1e8, App: "nash"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(l.Path("i7-2600K"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), ",nash\n") {
+		t.Errorf("log row lacks the app column:\n%s", data)
+	}
+	f, err := os.Open(l.Path("i7-2600K"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := ReadCSV(f); err != nil {
+		t.Errorf("app-stamped log rejected by the reader: %v", err)
+	}
+
+	// An app name that would break the row format is rejected up front.
+	if err := l.Append("i7-2600K", Observation{Inst: inst, Par: par, RTimeNs: 1e8, App: "bad,app"}); err == nil {
+		t.Error("comma-carrying app name accepted")
+	}
+}

@@ -29,11 +29,15 @@ type ObservationLog struct {
 }
 
 // Observation is one measured configuration: the instance it ran on,
-// the parameter setting, and the measured runtime in nanoseconds.
+// the parameter setting, and the measured runtime in nanoseconds. App,
+// when set, names the catalog application the measurement came from and
+// is persisted in the CSV's app column (empty is allowed — the
+// granularity already lives in Inst).
 type Observation struct {
 	Inst    plan.Instance
 	Par     plan.Params
 	RTimeNs float64
+	App     string
 }
 
 // NewObservationLog creates (if needed) dir and returns a log writing
@@ -85,6 +89,9 @@ func (l *ObservationLog) Append(system string, obs ...Observation) error {
 		if !(o.RTimeNs > 0) {
 			return fmt.Errorf("core: observation %d: runtime %v not positive", i, o.RTimeNs)
 		}
+		if strings.ContainsAny(o.App, ",\n\r") {
+			return fmt.Errorf("core: observation %d: app %q not usable in a CSV row", i, o.App)
+		}
 	}
 	if len(obs) == 0 {
 		return nil
@@ -101,7 +108,7 @@ func (l *ObservationLog) Append(system string, obs ...Observation) error {
 		fmt.Fprintln(w, searchCSVHeader)
 	}
 	for _, o := range obs {
-		writeSearchRow(w, system, o.Inst.Normalize(), o.Par, o.RTimeNs, false)
+		writeSearchRow(w, system, o.Inst.Normalize(), o.Par, o.RTimeNs, false, o.App)
 	}
 	if err := w.Flush(); err != nil {
 		f.Close()

@@ -18,7 +18,15 @@ import (
 // by wavesweep and reloaded later for training without re-running the
 // search.
 
-const searchCSVHeader = "system,dim,tsize,dsize,cpu_tile,band,gpu_tile,halo,rtime_ns,censored"
+// searchCSVHeader is the current column layout; the trailing app column
+// names the application the row was measured under ("synthetic" for
+// exhaustive sweeps, the submitted app for observation-log rows, empty
+// when unknown). legacySearchCSVHeader is the pre-app-column layout,
+// still accepted by ReadCSV so old sweeps keep loading.
+const (
+	searchCSVHeader       = "system,dim,tsize,dsize,cpu_tile,band,gpu_tile,halo,rtime_ns,censored,app"
+	legacySearchCSVHeader = "system,dim,tsize,dsize,cpu_tile,band,gpu_tile,halo,rtime_ns,censored"
+)
 
 // shapeField renders the dim column: a bare integer for square instances
 // (the original format) and "rowsxcols" for rectangular ones. The
@@ -28,12 +36,12 @@ func shapeField(inst plan.Instance) string { return inst.ShapeString() }
 // writeSearchRow writes one data row of the search-CSV format. It is the
 // single definition of the column layout, shared by SearchResult.WriteCSV
 // and ObservationLog.Append so the two writers cannot drift apart.
-func writeSearchRow(w io.Writer, system string, inst plan.Instance, par plan.Params, rtimeNs float64, censored bool) {
-	fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%d,%s,%t\n",
+func writeSearchRow(w io.Writer, system string, inst plan.Instance, par plan.Params, rtimeNs float64, censored bool, app string) {
+	fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%d,%d,%s,%t,%s\n",
 		system, shapeField(inst),
 		strconv.FormatFloat(inst.TSize, 'g', -1, 64), inst.DSize,
 		par.CPUTile, par.Band, par.GPUTile, par.Halo,
-		strconv.FormatFloat(rtimeNs, 'g', -1, 64), censored)
+		strconv.FormatFloat(rtimeNs, 'g', -1, 64), censored, app)
 }
 
 // parseShapeField inverts shapeField into an instance shape.
@@ -60,7 +68,8 @@ func (sr *SearchResult) WriteCSV(w io.Writer) error {
 	for i := range sr.Instances {
 		ir := &sr.Instances[i]
 		for _, p := range ir.Points {
-			writeSearchRow(bw, sr.Sys.Name, p.Inst, p.Par, p.RTimeNs, p.Censored)
+			// Exhaustive sweeps evaluate the paper's synthetic trainer.
+			writeSearchRow(bw, sr.Sys.Name, p.Inst, p.Par, p.RTimeNs, p.Censored, "synthetic")
 		}
 	}
 	return bw.Flush()
@@ -75,7 +84,7 @@ func ReadCSV(r io.Reader) (*SearchResult, error) {
 	if !sc.Scan() {
 		return nil, fmt.Errorf("core: empty search CSV")
 	}
-	if got := strings.TrimSpace(sc.Text()); got != searchCSVHeader {
+	if got := strings.TrimSpace(sc.Text()); got != searchCSVHeader && got != legacySearchCSVHeader {
 		return nil, fmt.Errorf("core: unexpected CSV header %q", got)
 	}
 	var sr *SearchResult
@@ -88,9 +97,13 @@ func ReadCSV(r io.Reader) (*SearchResult, error) {
 		if text == "" {
 			continue
 		}
+		// Rows may be legacy 10-field or current 11-field (the trailing
+		// app name); both can appear in one file when an observation log
+		// appended to a pre-app-column file. The app field is metadata
+		// for humans and tooling; training ignores it.
 		f := strings.Split(text, ",")
-		if len(f) != 10 {
-			return nil, fmt.Errorf("core: line %d: %d fields, want 10", line, len(f))
+		if len(f) != 10 && len(f) != 11 {
+			return nil, fmt.Errorf("core: line %d: %d fields, want 10 or 11", line, len(f))
 		}
 		if sr == nil {
 			sys, ok := hw.ByName(f[0])

@@ -139,9 +139,13 @@ type Spec struct {
 	System string
 	// Inst is the wavefront instance to execute.
 	Inst plan.Instance
-	// App echoes the named application the instance was derived from
-	// (informational; granularity already lives in Inst).
+	// App echoes the named catalog application the instance was derived
+	// from (informational; granularity already lives in Inst). Refined
+	// jobs stamp it into the training log's app column.
 	App string
+	// AppParams echoes the application parameters the submission carried
+	// (informational, like App).
+	AppParams map[string]float64
 	// Priority is the admission class; the zero value is PriorityNormal.
 	Priority Priority
 	// Refine opts the job into online refinement around the cached

@@ -572,3 +572,25 @@ func TestRefineJobFeedsTrainingLog(t *testing.T) {
 		}
 	}
 }
+
+// TestAppParamsNotAliased pins the immutability contract of Job
+// snapshots: a caller mutating the map it submitted, or the map a
+// snapshot returned, must not rewrite the stored record.
+func TestAppParamsNotAliased(t *testing.T) {
+	m := newManager(t, Config{})
+	defer m.Shutdown(context.Background())
+	params := map[string]float64{"rounds": 2}
+	j, err := m.Submit(Spec{System: "i7-2600K", Inst: testInst(64), App: "nash", AppParams: params})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params["rounds"] = 99       // caller reuses its map after Submit
+	j.AppParams["rounds"] = 1e9 // caller scribbles on a snapshot
+	got, ok := m.Get(j.ID)
+	if !ok {
+		t.Fatal("job disappeared")
+	}
+	if got.AppParams["rounds"] != 2 {
+		t.Errorf("stored app params mutated through an aliased map: %v", got.AppParams)
+	}
+}

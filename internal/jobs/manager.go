@@ -32,6 +32,20 @@ type record struct {
 	result          *Result
 }
 
+// copyParams returns an independent copy of an app-parameter map, so
+// records and snapshots never alias caller-owned (or caller-visible)
+// maps.
+func copyParams(m map[string]float64) map[string]float64 {
+	if m == nil {
+		return nil
+	}
+	cp := make(map[string]float64, len(m))
+	for k, v := range m {
+		cp[k] = v
+	}
+	return cp
+}
+
 // snapshot copies the record into an immutable Job. Caller holds the
 // manager's mutex.
 func (r *record) snapshot() Job {
@@ -40,6 +54,7 @@ func (r *record) snapshot() Job {
 		CancelRequested: r.cancelRequested, Err: r.err,
 		Created: r.created, Started: r.started, Finished: r.finished,
 	}
+	j.AppParams = copyParams(r.spec.AppParams)
 	if r.result != nil {
 		res := *r.result
 		if r.result.Refine != nil {
@@ -141,6 +156,10 @@ func (m *Manager) Submit(spec Spec) (Job, error) {
 		return Job{}, err
 	}
 	spec.Inst = spec.Inst.Normalize()
+	// Detach from the caller's map: the spec outlives Submit inside the
+	// record, and a caller mutating its map afterwards must not rewrite
+	// the stored (documented-immutable) job.
+	spec.AppParams = copyParams(spec.AppParams)
 	if spec.Priority < 0 || spec.Priority >= numPriorities {
 		return Job{}, fmt.Errorf("jobs: invalid priority %d", spec.Priority)
 	}
@@ -502,7 +521,7 @@ func (m *Manager) execute(rec *record) (*Result, error) {
 	// Serial outcomes are skipped — the baseline is not a search point,
 	// so logging it would mislabel the training row.
 	if m.cfg.TrainingLog != nil && !pred.Serial {
-		obs := core.Observation{Inst: spec.Inst, Par: pred.Par, RTimeNs: st.FinalNs}
+		obs := core.Observation{Inst: spec.Inst, Par: pred.Par, RTimeNs: st.FinalNs, App: spec.App}
 		if lerr := m.cfg.TrainingLog.Append(spec.System, obs); lerr != nil {
 			m.logf("job %s: training-log append failed: %v", rec.id, lerr)
 		} else {

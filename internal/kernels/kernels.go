@@ -1,8 +1,13 @@
 // Package kernels implements the wavefront point computations used in the
-// paper: the parameterizable synthetic application used for training, the
+// paper — the parameterizable synthetic application used for training, the
 // two real evaluation applications (Nash equilibrium and biological
 // sequence comparison), and the 0/1 knapsack recurrence the paper names as
-// future work.
+// future work — plus four further dynamic-programming workloads that
+// broaden the catalog beyond the paper: Smith-Waterman with affine gaps
+// (SWAffine), longest common subsequence (LCS), dynamic time warping
+// (DTW), and Nussinov-style RNA folding (Nussinov, the first workload
+// whose meaningful domain is triangular rather than the full rectangle).
+// The application registry in internal/apps catalogs all of them by name.
 //
 // A Kernel computes one cell of a wavefront grid from its west, north and
 // northwest neighbours. Kernels are pure with respect to the grid: calling
@@ -222,18 +227,26 @@ func (s *SeqCompare) DSize() int { return 0 }
 
 var bases = [4]byte{'A', 'C', 'G', 'T'}
 
+// synthBaseA and synthBaseB derive deterministic DNA bases from row and
+// column indices, so sequence kernels can generate instances of any dim
+// without input files. They are shared by every alignment-style kernel
+// (SeqCompare, SWAffine, LCS).
+func synthBaseA(r int) byte { return bases[(r*2654435761)>>8&3] }
+
+func synthBaseB(c int) byte { return bases[(c*40503)>>4&3] }
+
 func (s *SeqCompare) baseA(r int) byte {
 	if s.SeqA != nil && r < len(s.SeqA) {
 		return s.SeqA[r]
 	}
-	return bases[(r*2654435761)>>8&3]
+	return synthBaseA(r)
 }
 
 func (s *SeqCompare) baseB(c int) byte {
 	if s.SeqB != nil && c < len(s.SeqB) {
 		return s.SeqB[c]
 	}
-	return bases[(c*40503)>>4&3]
+	return synthBaseB(c)
 }
 
 // Compute implements Kernel: the Smith–Waterman recurrence

@@ -1,0 +1,252 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+)
+
+func getApps(t *testing.T, url string) (map[string]AppInfo, int) {
+	t.Helper()
+	resp, err := http.Get(url + "/v1/apps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/apps status %d", resp.StatusCode)
+	}
+	var body struct {
+		Apps  []AppInfo `json:"apps"`
+		Count int       `json:"count"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]AppInfo, len(body.Apps))
+	for _, a := range body.Apps {
+		byName[a.Name] = a
+	}
+	return byName, body.Count
+}
+
+// TestAppsEndpoint: GET /v1/apps lists the full catalog with
+// granularities and parameter schemas matching the registry.
+func TestAppsEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	byName, count := getApps(t, ts.URL)
+	if count < 8 || count != len(byName) {
+		t.Fatalf("count = %d (%d distinct), want >= 8", count, len(byName))
+	}
+	for _, want := range []string{"synthetic", "nash", "seqcompare", "knapsack", "swaffine", "lcs", "dtw", "nussinov"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("catalog missing %q", want)
+		}
+	}
+	if nash := byName["nash"]; nash.TSize == nil || *nash.TSize != 750 || nash.DSize == nil || *nash.DSize != 4 {
+		t.Errorf("nash granularity = %+v, want tsize 750 dsize 4", nash)
+	}
+	if syn := byName["synthetic"]; syn.TSize != nil || syn.DSize != nil {
+		t.Errorf("synthetic must report no default granularity, got %+v", syn)
+	} else {
+		required := 0
+		for _, p := range syn.Params {
+			if p.Required {
+				required++
+			}
+		}
+		if required != 2 {
+			t.Errorf("synthetic must declare tsize and dsize required, got %+v", syn.Params)
+		}
+	}
+	if !byName["nussinov"].SquareOnly {
+		t.Error("nussinov must be marked square_only")
+	}
+
+	// Method hygiene.
+	resp, err := http.Post(ts.URL+"/v1/apps", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/apps status %d, want 405", resp.StatusCode)
+	}
+	st := getStats(t, ts.URL)
+	if st.Requests["apps"] != 1 {
+		t.Errorf("apps request counter = %d, want 1", st.Requests["apps"])
+	}
+}
+
+// TestEveryCatalogAppTunesAndRuns is the acceptance criterion end to
+// end: every registered application is tunable via POST /v1/tune and
+// runnable via POST /v1/jobs, with no per-app code in the service.
+func TestEveryCatalogAppTunesAndRuns(t *testing.T) {
+	s, ts, _ := newTestServer(t, Config{})
+	for _, a := range apps.All() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			body := fmt.Sprintf(`{"system":"i7-2600K","dim":300,"app":%q`, a.Name)
+			if _, _, ok := a.DefaultGranularity(); !ok {
+				// The synthetic trainer's granularity is a required input.
+				body += `,"tsize":10,"dsize":1`
+			}
+			body += `}`
+
+			tr, resp := postTune(t, ts.URL, body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("POST /v1/tune status %d", resp.StatusCode)
+			}
+			if tr.Instance.TSize <= 0 {
+				t.Errorf("tune response granularity not populated: %+v", tr.Instance)
+			}
+
+			jresp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+				bytes.NewReader([]byte(body)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var ji JobInfo
+			if err := json.NewDecoder(jresp.Body).Decode(&ji); err != nil {
+				t.Fatal(err)
+			}
+			jresp.Body.Close()
+			if jresp.StatusCode != http.StatusAccepted {
+				t.Fatalf("POST /v1/jobs status %d", jresp.StatusCode)
+			}
+			if ji.App != a.Name {
+				t.Errorf("job app echo = %q, want %q", ji.App, a.Name)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			job, err := s.Jobs().Await(ctx, ji.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if job.State.String() != "succeeded" {
+				t.Fatalf("job state = %s (err %q)", job.State, job.Err)
+			}
+			if job.Result == nil || job.Result.MeasuredNs <= 0 {
+				t.Errorf("job result missing measurement: %+v", job.Result)
+			}
+		})
+	}
+}
+
+// TestAppParamsFlow: params reach the granularity derivation and are
+// echoed on job records.
+func TestAppParamsFlow(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	tr, resp := postTune(t, ts.URL,
+		`{"system":"i7-2600K","dim":700,"app":"nash","params":{"rounds":3}}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if tr.Instance.TSize != 2250 {
+		t.Errorf("params.rounds=3 gave tsize %g, want 2250", tr.Instance.TSize)
+	}
+	// Legacy top-level rounds still works on its own...
+	tr, _ = postTune(t, ts.URL,
+		`{"system":"i7-2600K","dim":700,"app":"nash","rounds":5}`)
+	if tr.Instance.TSize != 3750 {
+		t.Errorf("legacy rounds=5 gave tsize %g, want 3750", tr.Instance.TSize)
+	}
+	// ...but supplying both spellings of one parameter is a conflict,
+	// not a silent precedence pick.
+	if _, resp := postTune(t, ts.URL,
+		`{"system":"i7-2600K","dim":700,"app":"nash","rounds":5,"params":{"rounds":2}}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("conflicting rounds spellings status = %d, want 400", resp.StatusCode)
+	}
+	if _, resp := postTune(t, ts.URL,
+		`{"system":"i7-2600K","dim":700,"app":"synthetic","params":{"tsize":100,"dsize":1},"tsize":5}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("conflicting tsize spellings status = %d, want 400", resp.StatusCode)
+	}
+
+	jresp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader([]byte(
+		`{"system":"i7-2600K","dim":300,"app":"swaffine","params":{"gap_open":12}}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp.Body.Close()
+	var ji JobInfo
+	if err := json.NewDecoder(jresp.Body).Decode(&ji); err != nil {
+		t.Fatal(err)
+	}
+	if ji.AppParams["gap_open"] != 12 {
+		t.Errorf("job record app_params = %v, want gap_open 12", ji.AppParams)
+	}
+
+	// Legacy spellings that shaped the instance are echoed too: a job
+	// submitted with top-level rounds must not read back as rounds=1.
+	jresp2, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader([]byte(
+		`{"system":"i7-2600K","dim":300,"app":"nash","rounds":2}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jresp2.Body.Close()
+	var ji2 JobInfo
+	if err := json.NewDecoder(jresp2.Body).Decode(&ji2); err != nil {
+		t.Fatal(err)
+	}
+	if ji2.AppParams["rounds"] != 2 {
+		t.Errorf("legacy rounds not echoed in app_params: %v", ji2.AppParams)
+	}
+	if ji2.Instance.TSize != 1500 {
+		t.Errorf("legacy rounds job tsize = %g, want 1500", ji2.Instance.TSize)
+	}
+}
+
+// TestAppValidationFromRegistry: the unknown-app message enumerates the
+// registry (so it can never drift from the catalog), schema violations
+// are 400s, and shape constraints are enforced.
+func TestAppValidationFromRegistry(t *testing.T) {
+	_, ts, _ := newTestServer(t, Config{})
+	readErr := func(body string) (int, string) {
+		resp, err := http.Post(ts.URL+"/v1/tune", "application/json",
+			bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return resp.StatusCode, e.Error
+	}
+
+	code, msg := readErr(`{"system":"i7-2600K","dim":500,"app":"raytrace"}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown app status %d", code)
+	}
+	for _, name := range apps.Names() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("unknown-app error %q does not enumerate %q", msg, name)
+		}
+	}
+
+	cases := []struct {
+		name, body string
+	}{
+		{"unknown param", `{"system":"i7-2600K","dim":500,"app":"nash","params":{"bogus":1}}`},
+		{"non-integer rounds", `{"system":"i7-2600K","dim":500,"app":"nash","params":{"rounds":1.5}}`},
+		{"out-of-range rounds", `{"system":"i7-2600K","dim":500,"app":"nash","params":{"rounds":0}}`},
+		{"synthetic without granularity", `{"system":"i7-2600K","dim":500,"app":"synthetic"}`},
+		{"rectangular nussinov", `{"system":"i7-2600K","rows":600,"cols":1400,"app":"nussinov"}`},
+		{"params without app", `{"system":"i7-2600K","dim":500,"tsize":1.5,"dsize":2,"params":{"gap_open":12}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if code, _ := readErr(tc.body); code != http.StatusBadRequest {
+				t.Errorf("status = %d, want 400", code)
+			}
+		})
+	}
+}

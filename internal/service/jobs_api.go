@@ -36,8 +36,11 @@ type JobInfo struct {
 	System   string       `json:"system"`
 	Instance TuneInstance `json:"instance"`
 	App      string       `json:"app,omitempty"`
-	Priority string       `json:"priority"`
-	Refine   bool         `json:"refine"`
+	// AppParams echoes the application parameters the submission
+	// carried (e.g. nash rounds or affine gap penalties).
+	AppParams map[string]float64 `json:"app_params,omitempty"`
+	Priority  string             `json:"priority"`
+	Refine    bool               `json:"refine"`
 	// CancelRequested is set once DELETE was accepted for a running job
 	// that has not yet observed the cancellation.
 	CancelRequested bool   `json:"cancel_requested,omitempty"`
@@ -82,7 +85,8 @@ func jobInfo(j jobs.Job) JobInfo {
 	info := JobInfo{
 		ID: j.ID, State: j.State.String(), System: j.System,
 		Instance: TuneInstance{Rows: rows, Cols: cols, TSize: j.Inst.TSize, DSize: j.Inst.DSize},
-		App:      j.App, Priority: j.Priority.String(), Refine: j.Spec.Refine,
+		App:      j.App, AppParams: j.AppParams,
+		Priority: j.Priority.String(), Refine: j.Spec.Refine,
 		CancelRequested: j.CancelRequested, Error: j.Err,
 		CreatedAt: j.Created,
 	}
@@ -158,7 +162,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, "unknown system %q", req.System)
 		return
 	}
-	inst, err := req.instanceFrom()
+	// The record echoes the fully resolved parameter values — supplied
+	// params, legacy top-level spellings and schema defaults — so
+	// auditing a job never shows fewer parameters than the derivation
+	// used.
+	inst, appParams, err := req.instanceFrom()
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "invalid instance: %v", err)
 		return
@@ -170,7 +178,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	j, err := s.jobs.Submit(jobs.Spec{
-		System: req.System, Inst: inst, App: req.App,
+		System: req.System, Inst: inst, App: req.App, AppParams: appParams,
 		Priority: pri, Refine: req.Refine,
 	})
 	switch {

@@ -10,6 +10,11 @@
 // jobs asynchronously through internal/jobs (POST /v1/jobs), with
 // optional online refinement feeding a persisted training log.
 //
+// Named applications resolve through the internal/apps registry, so the
+// daemon has no per-app code: registering a workload (builtin.go or
+// wavefront.RegisterApp) makes it tunable, runnable and discoverable
+// here with no service change.
+//
 // Endpoints:
 //
 //	POST   /v1/tune       predict tuned Params for an instance (cache-backed)
@@ -17,6 +22,7 @@
 //	GET    /v1/jobs       list job records (filterable by state/system)
 //	GET    /v1/jobs/{id}  poll one job record
 //	DELETE /v1/jobs/{id}  cancel a queued or running job
+//	GET    /v1/apps       list the application catalog (names, granularity, params)
 //	GET    /v1/systems    list the served systems and tuner states
 //	GET    /v1/stats      cache, job and request counters, uptime
 //	GET    /healthz       liveness probe
@@ -36,10 +42,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/jobs"
-	"repro/internal/kernels"
 	"repro/internal/plan"
 	"repro/internal/tunecache"
 )
@@ -103,6 +109,7 @@ type Server struct {
 
 	tuneReqs   atomic.Uint64
 	jobReqs    atomic.Uint64
+	appsReqs   atomic.Uint64
 	statsReqs  atomic.Uint64
 	sysReqs    atomic.Uint64
 	healthReqs atomic.Uint64
@@ -175,6 +182,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/tune", s.handleTune)
 	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("/v1/jobs/", s.handleJobByID)
+	s.mux.HandleFunc("/v1/apps", s.handleApps)
 	s.mux.HandleFunc("/v1/systems", s.handleSystems)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
@@ -217,18 +225,23 @@ func (s *Server) predict(system string, inst plan.Instance) (tunecache.Plan, err
 
 // TuneRequest is the body of POST /v1/tune. The instance shape is either
 // square (dim) or rectangular (rows and cols). Granularity comes either
-// from explicit tsize/dsize or from a named application (app "nash" with
-// optional rounds, "seqcompare", "knapsack"); explicit values win.
+// from explicit tsize/dsize or from a named application registered in
+// the apps catalog (GET /v1/apps lists it), with app parameters in the
+// params object (e.g. {"app":"nash","params":{"rounds":2}}); explicit
+// tsize/dsize values win over app-derived ones. The top-level rounds
+// field is the legacy spelling of params.rounds and is kept for
+// compatibility.
 type TuneRequest struct {
 	System string `json:"system"`
 	Dim    int    `json:"dim,omitempty"`
 	Rows   int    `json:"rows,omitempty"`
 	Cols   int    `json:"cols,omitempty"`
 
-	App    string   `json:"app,omitempty"`
-	Rounds int      `json:"rounds,omitempty"`
-	TSize  *float64 `json:"tsize,omitempty"`
-	DSize  *int     `json:"dsize,omitempty"`
+	App    string             `json:"app,omitempty"`
+	Params map[string]float64 `json:"params,omitempty"`
+	Rounds int                `json:"rounds,omitempty"`
+	TSize  *float64           `json:"tsize,omitempty"`
+	DSize  *int               `json:"dsize,omitempty"`
 }
 
 // TuneParams is the tuned parameter setting in the response, decoded
@@ -307,50 +320,101 @@ func (s *Server) checkJSONBody(w http.ResponseWriter, r *http.Request) bool {
 
 // maxServedSide caps the accepted instance side length. The paper's
 // largest instance is dim 3100; the cap leaves three orders of magnitude
-// of headroom while keeping per-request work (and the knapsack kernel's
-// O(dim) weight table) bounded against abusive shapes.
+// of headroom while keeping per-request work bounded against abusive
+// shapes.
 const maxServedSide = 1 << 20
 
-// instanceFrom validates a request and builds the plan.Instance.
-func (r TuneRequest) instanceFrom() (plan.Instance, error) {
+// appValues builds the effective application parameter values of a
+// request: the params object plus the legacy top-level spellings
+// (rounds; tsize/dsize for apps that declare them, i.e. the synthetic
+// trainer) mapped onto declared parameters. This keeps the historical
+// {"app":"nash","rounds":2} and {"app":"synthetic","tsize":...,
+// "dsize":...} working unchanged, and is also what job records echo as
+// app_params. Supplying one declared parameter through both spellings
+// is rejected — two values for one knob has no defensible winner, and
+// silently picking either would make the served instance contradict
+// half the request.
+func (r TuneRequest) appValues(app apps.App) (apps.Values, error) {
+	v := apps.Values{}
+	for name, x := range r.Params {
+		v[name] = x
+	}
+	addLegacy := func(field, name string, x float64) error {
+		if _, declared := app.Param(name); !declared {
+			return nil
+		}
+		if _, dup := v[name]; dup {
+			return fmt.Errorf("app %q: parameter %q given both in params and as top-level %s",
+				app.Name, name, field)
+		}
+		v[name] = x
+		return nil
+	}
+	if r.Rounds > 0 {
+		if err := addLegacy("rounds", "rounds", float64(r.Rounds)); err != nil {
+			return nil, err
+		}
+	}
+	if r.TSize != nil {
+		if err := addLegacy("tsize", "tsize", *r.TSize); err != nil {
+			return nil, err
+		}
+	}
+	if r.DSize != nil {
+		if err := addLegacy("dsize", "dsize", float64(*r.DSize)); err != nil {
+			return nil, err
+		}
+	}
+	return v, nil
+}
+
+// instanceFrom validates a request and builds the plan.Instance, along
+// with the fully resolved application parameter values (supplied
+// params, legacy spellings, schema defaults) that job records echo —
+// nil for app-less requests. Named applications resolve through the
+// apps registry — granularity, parameter schema and shape constraints
+// all come from the catalog, so registering a workload makes it
+// servable with no change here.
+func (r TuneRequest) instanceFrom() (plan.Instance, apps.Values, error) {
 	inst := plan.Instance{Dim: r.Dim, Rows: r.Rows, Cols: r.Cols}
-	// Check the shape before the app switch: the knapsack case sizes its
-	// kernel from it, so an unvalidated negative or huge side must not
-	// get that far.
-	if rows, cols := inst.Shape(); rows < 1 || cols < 1 {
-		return inst, fmt.Errorf("shape %dx%d invalid", rows, cols)
+	rows, cols := inst.Shape()
+	if rows < 1 || cols < 1 {
+		return inst, nil, fmt.Errorf("shape %dx%d invalid", rows, cols)
 	}
 	if inst.MaxSide() > maxServedSide {
-		return inst, fmt.Errorf("side %d exceeds the service limit %d", inst.MaxSide(), maxServedSide)
+		return inst, nil, fmt.Errorf("side %d exceeds the service limit %d", inst.MaxSide(), maxServedSide)
 	}
-	switch r.App {
-	case "":
+	var resolved apps.Values
+	if r.App == "" {
+		if len(r.Params) > 0 {
+			// A params object can only be interpreted against an app's
+			// schema; swallowing it silently would let a request that
+			// meant to name an app tune something else.
+			return inst, nil, fmt.Errorf("params requires an app")
+		}
 		if r.TSize == nil || r.DSize == nil {
-			return inst, fmt.Errorf("either app or both tsize and dsize are required")
+			return inst, nil, fmt.Errorf("either app or both tsize and dsize are required")
 		}
-	case "nash":
-		rounds := r.Rounds
-		if rounds <= 0 {
-			rounds = 1
+	} else {
+		app, ok := apps.Lookup(r.App)
+		if !ok {
+			return inst, nil, apps.UnknownAppError(r.App)
 		}
-		k := kernels.NewNash(rounds)
-		inst.TSize, inst.DSize = k.TSize(), k.DSize()
-	case "seqcompare":
-		k := kernels.NewSeqCompare()
-		inst.TSize, inst.DSize = k.TSize(), k.DSize()
-	case "knapsack":
-		// The knapsack granularity parameters are shape-independent, so a
-		// unit-sized kernel avoids building the O(dim) weight table on
-		// every request.
-		k := kernels.NewKnapsack(1)
-		inst.TSize, inst.DSize = k.TSize(), k.DSize()
-	case "synthetic":
-		if r.TSize == nil || r.DSize == nil {
-			return inst, fmt.Errorf("app %q requires explicit tsize and dsize", r.App)
+		v, err := r.appValues(app)
+		if err != nil {
+			return inst, nil, err
 		}
-	default:
-		return inst, fmt.Errorf("unknown app %q (want nash, seqcompare, knapsack or synthetic)", r.App)
+		ai, rv, err := app.InstanceFor(rows, cols, v)
+		if err != nil {
+			return inst, nil, err
+		}
+		inst.TSize, inst.DSize = ai.TSize, ai.DSize
+		resolved = rv
 	}
+	// Explicit top-level granularity overrides the app-derived values
+	// last (for apps that declare tsize/dsize the legacy spelling was
+	// already folded into the resolution above, so the echo and the
+	// instance cannot disagree).
 	if r.TSize != nil {
 		inst.TSize = *r.TSize
 	}
@@ -358,9 +422,9 @@ func (r TuneRequest) instanceFrom() (plan.Instance, error) {
 		inst.DSize = *r.DSize
 	}
 	if err := inst.Validate(); err != nil {
-		return inst, err
+		return inst, nil, err
 	}
-	return inst.Normalize(), nil
+	return inst.Normalize(), resolved, nil
 }
 
 func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
@@ -392,7 +456,7 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, "unknown system %q", req.System)
 		return
 	}
-	inst, err := req.instanceFrom()
+	inst, _, err := req.instanceFrom()
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "invalid instance: %v", err)
 		return
@@ -484,6 +548,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Requests: map[string]uint64{
 			"tune":    s.tuneReqs.Load(),
 			"jobs":    s.jobReqs.Load(),
+			"apps":    s.appsReqs.Load(),
 			"systems": s.sysReqs.Load(),
 			"stats":   s.statsReqs.Load(),
 			"healthz": s.healthReqs.Load(),

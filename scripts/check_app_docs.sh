@@ -1,0 +1,19 @@
+#!/bin/sh
+# check_app_docs.sh fails when the application registry and the README's
+# "Application catalog" table disagree: a registered app missing from the
+# table (or lacking its catalog documentation fields), a table row naming
+# an unregistered app, or granularity/shape columns that drifted from the
+# registration. The comparison itself lives in internal/apps
+# (TestCatalogDocs), so it always checks against the real registry. Run
+# from the repository root; CI's docs job runs it after the
+# package-comment check.
+set -eu
+
+if ! out=$(go test ./internal/apps -run 'TestCatalogDocs' -count=1 2>&1); then
+    # Surface the per-app drift details from t.Errorf, or the test
+    # failure to build/run, so a red CI says which row is wrong.
+    echo "$out" >&2
+    echo "application catalog drifted from README.md (see above)" >&2
+    exit 1
+fi
+echo "application catalog docs: OK"

@@ -3,7 +3,7 @@
 // (Mohanty and Cole, PMAM '14, co-located with PPoPP 2014,
 // DOI 10.1145/2560683.2560689).
 //
-// It exposes five capabilities:
+// It exposes six capabilities:
 //
 //   - the wavefront pattern library: define a Kernel and run it natively
 //     on the host CPU, serially or tile-parallel (RunSerial, RunParallel);
@@ -12,6 +12,10 @@
 //   - the exhaustive tuning-space exploration of Table 3 (Exhaustive);
 //   - the machine-learned autotuner: train on the synthetic application,
 //     deploy on unseen applications (Train, Tuner.Predict);
+//   - the application registry: a catalog of named workloads — the
+//     paper's four plus affine-gap alignment, LCS, DTW and Nussinov
+//     folding — that the daemon and CLIs resolve by name, extensible
+//     with custom kernels (RegisterApp, Apps, NewAppKernel);
 //   - the serving layer: a concurrency-safe plan cache and the HTTP
 //     tuning daemon behind cmd/waved (NewPlanCache, NewTuningServer).
 //
@@ -44,8 +48,10 @@ import (
 type Grid = grid.Grid
 
 // Kernel is a wavefront point computation; see NewSynthetic, NewNash,
-// NewSeqCompare and NewKnapsack for the paper's applications, or
-// implement the interface for your own.
+// NewSeqCompare and NewKnapsack for the paper's applications, the
+// constructors in apps.go (NewSWAffine, NewLCS, NewDTW, NewNussinov)
+// for the extended catalog, or implement the interface for your own —
+// and register it with RegisterApp to serve it by name.
 type Kernel = kernels.Kernel
 
 // Instance describes a problem instance by the paper's input parameters
