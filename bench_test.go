@@ -10,6 +10,8 @@ package repro
 import (
 	"context"
 	"fmt"
+	"net/http/httptest"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -24,6 +26,7 @@ import (
 	"repro/internal/ml"
 	"repro/internal/plan"
 	"repro/internal/tunecache"
+	"repro/wavefront"
 )
 
 var (
@@ -347,6 +350,107 @@ func BenchmarkPlanCacheHit(b *testing.B) {
 			b.Fatalf("lookup = %v (%v), want hit", out, err)
 		}
 	}
+}
+
+// BenchmarkPlanCacheHitParallel measures the contended hot path of the
+// tuning service — resident lookups from every core at once — against
+// the single-lock baseline (shards=1) and the sharded default
+// (shards=GOMAXPROCS). On multi-core the sharded variant's hit
+// throughput should exceed the single lock's: distinct keys ride
+// different shard mutexes instead of serializing on one.
+func BenchmarkPlanCacheHitParallel(b *testing.B) {
+	warm := func(b *testing.B, shards int) (*tunecache.Cache, []plan.Instance) {
+		b.Helper()
+		c := tunecache.NewSharded(4096, shards, func(system string, in plan.Instance) (tunecache.Plan, error) {
+			return tunecache.Plan{
+				Par:     plan.Params{CPUTile: 8, Band: -1, GPUTile: 1, Halo: -1},
+				RTimeNs: 1e6, SerialNs: 2e6,
+			}, nil
+		})
+		insts := make([]plan.Instance, 64)
+		for i := range insts {
+			insts[i] = plan.Instance{Dim: 300 + 25*i, TSize: 2000, DSize: 1}
+			if _, _, err := c.Get("i7-2600K", insts[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return c, insts
+	}
+	shardCounts := []int{1, runtime.GOMAXPROCS(0)}
+	if shardCounts[1] <= 1 {
+		// Single-core host: still exercise the sharded code path, even
+		// though only multi-core shows the throughput separation.
+		shardCounts[1] = 8
+	}
+	for _, shards := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c, insts := warm(b, shards)
+			if got := c.Shards(); got != shards {
+				b.Fatalf("cache built with %d shards, want %d", got, shards)
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				// Each goroutine walks the warm keys from its own offset so
+				// the traffic spreads across shards like independent clients.
+				i := 0
+				for pb.Next() {
+					in := insts[i%len(insts)]
+					i++
+					if _, out, err := c.Get("i7-2600K", in); err != nil || out != tunecache.Hit {
+						b.Errorf("lookup = %v (%v), want hit", out, err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkTuneBatchEndpoint measures POST /v1/tune/batch end to end on
+// a warm cache: one round trip answering a full batch of shapes.
+func BenchmarkTuneBatchEndpoint(b *testing.B) {
+	srv, err := wavefront.NewTuningServer(wavefront.TuningConfig{
+		Systems: []wavefront.System{hw.I7_2600K()},
+		Tuners:  wavefront.NewStaticTunerSource(benchTuner(b)),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	req := wavefront.BatchTuneRequest{System: "i7-2600K"}
+	for i := 0; i < 32; i++ {
+		tsz, dsz := 2000.0, 1
+		req.Items = append(req.Items, wavefront.TuneRequest{Dim: 300 + 50*(i%16), TSize: &tsz, DSize: &dsz})
+	}
+	// Warm pass outside the timed section.
+	if _, err := wavefront.TuneBatch(context.Background(), nil, ts.URL, req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := wavefront.TuneBatch(context.Background(), nil, ts.URL, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Errors != 0 {
+			b.Fatalf("batch errors: %+v", out)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(req.Items))/b.Elapsed().Seconds(), "items/s")
+}
+
+// benchTuner trains (once) the quick-space tuner the serving benchmarks
+// predict through.
+func benchTuner(b *testing.B) *core.Tuner {
+	b.Helper()
+	ctx := benchContext(b)
+	t, err := ctx.Tuner(hw.I7_2600K())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t
 }
 
 // BenchmarkJobThroughput measures end-to-end submit→complete job

@@ -13,13 +13,14 @@
 // Usage:
 //
 //	waved [-addr :8080] [-systems i7-2600K,i3-540] [-tuners dir]
-//	      [-cache 512] [-cache-file plans.json] [-full]
-//	      [-workers 4] [-queue-depth 64] [-refine-budget 12]
-//	      [-train-log dir]
+//	      [-cache 512] [-cache-shards 0] [-cache-file plans.json] [-full]
+//	      [-batch-limit 64] [-workers 4] [-queue-depth 64]
+//	      [-refine-budget 12] [-train-log dir]
 //
 // Endpoints:
 //
 //	POST   /v1/tune       {"system":"i7-2600K","dim":1900,"app":"nash","params":{"rounds":2}}
+//	POST   /v1/tune/batch {"system":"i7-2600K","items":[{"dim":1900,"app":"nash"},...]}
 //	POST   /v1/jobs       {"system":"i7-2600K","dim":1900,"app":"nash","refine":true}
 //	GET    /v1/jobs       job records (filter: ?state=queued&system=i7-2600K)
 //	GET    /v1/jobs/{id}  poll one job
@@ -76,7 +77,9 @@ func main() {
 	systems := flag.String("systems", "", "comma-separated systems to serve (default: all Table 4 systems)")
 	tunersDir := flag.String("tuners", "", "directory of <system>.json tuner files (default: train lazily)")
 	cacheSize := flag.Int("cache", 0, "plan-cache capacity (0 = default)")
+	cacheShards := flag.Int("cache-shards", 0, "plan-cache shard count (0 = GOMAXPROCS; clamped for small caches)")
 	cacheFile := flag.String("cache-file", "", "persist the plan cache to this file across restarts")
+	batchLimit := flag.Int("batch-limit", 0, "max items per /v1/tune/batch request (0 = default)")
 	full := flag.Bool("full", false, "train lazily on the full Table 3 space instead of the quick one")
 	workers := flag.Int("workers", 0, "job worker pool size (0 = default)")
 	queueDepth := flag.Int("queue-depth", 0, "job queue bound; overflow answers 429 (0 = default)")
@@ -85,8 +88,10 @@ func main() {
 	flag.Parse()
 
 	cfg := wavefront.TuningConfig{
-		CacheSize: *cacheSize,
-		CachePath: *cacheFile,
+		CacheSize:   *cacheSize,
+		CacheShards: *cacheShards,
+		BatchLimit:  *batchLimit,
+		CachePath:   *cacheFile,
 		Jobs: wavefront.JobOptions{
 			Workers:        *workers,
 			QueueDepth:     *queueDepth,

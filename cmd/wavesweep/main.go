@@ -17,6 +17,7 @@ import (
 	"os"
 
 	"repro/internal/apps"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/hw"
 )
@@ -48,6 +49,20 @@ func main() {
 
 	sr, err := ctx.Search(sys)
 	if err != nil {
+		// A failure deep into a long sweep no longer discards the finished
+		// instances: persist whatever completed before exiting, so the
+		// partial CSV can seed a retry or a bug report. It goes to a
+		// distinct .partial path — the error path must never truncate a
+		// complete CSV from an earlier successful run.
+		if *csvPath != "" && sr != nil && sr.Evaluations() > 0 {
+			partial := *csvPath + ".partial"
+			if werr := writeCSV(sr, partial); werr != nil {
+				log.Printf("could not save partial results: %v", werr)
+			} else {
+				log.Printf("saved %d completed evaluations (%d instances) to %s",
+					sr.Evaluations(), len(sr.Instances), partial)
+			}
+		}
 		log.Fatal(err)
 	}
 	fmt.Printf("exhaustive search on %s: %d instances, %d evaluations\n\n",
@@ -62,16 +77,23 @@ func main() {
 	}
 
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := sr.WriteCSV(f); err != nil {
-			log.Fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := writeCSV(sr, *csvPath); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s (%d points; reload with wavetrain -from)\n", *csvPath, sr.Evaluations())
 	}
+}
+
+// writeCSV dumps every evaluated point of sr (complete or partial) to
+// path in the search-CSV format wavetrain -from reads.
+func writeCSV(sr *core.SearchResult, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := sr.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -5,20 +5,34 @@
 // through the registry (internal/apps) — `-list` prints the catalog, and
 // app parameters are passed as repeated `-param name=value` flags.
 //
+// With -batch, wavetune turns into a client of a running waved daemon:
+// it reads one shape per line from the file ("1900" or "600x1400", #
+// comments allowed), submits them through POST /v1/tune/batch — one
+// round trip when they fit -batch-chunk, split into chunk-sized
+// requests otherwise (the daemon deduplicates repeated shapes within a
+// request and fans distinct ones out across its plan-cache shards) —
+// and prints the per-shape results; per-item errors are reported
+// inline without failing the rest of the batch.
+//
 // Usage:
 //
 //	wavetune -list
 //	wavetune [-system i7-2600K] [-app nash] [-dim 1900] [-param rounds=2] [-run]
 //	wavetune -app swaffine -dim 2700 -param gap_open=12
 //	wavetune -app synthetic -tsize 4000 -dsize 5 -dim 1100
+//	wavetune -batch shapes.txt -addr http://localhost:8080 -app nash
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/core"
@@ -26,6 +40,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/hw"
 	"repro/internal/plan"
+	"repro/wavefront"
 )
 
 func main() {
@@ -54,10 +69,21 @@ func main() {
 	full := flag.Bool("full", false, "train on the full Table 3 space")
 	tunerPath := flag.String("tuner", "", "load a pre-trained tuner JSON (skips training)")
 	run := flag.Bool("run", false, "execute the tuned configuration functionally (small dims only)")
+	batchPath := flag.String("batch", "", "file of shapes (one per line: 1900 or 600x1400) to tune in one daemon call")
+	addr := flag.String("addr", "http://localhost:8080", "waved base URL for -batch mode")
+	batchChunk := flag.Int("batch-chunk", wavefront.DefaultBatchLimit,
+		"max shapes per /v1/tune/batch request; larger files are split (match the daemon's -batch-limit)")
 	flag.Parse()
 
 	if *list {
 		fmt.Print(apps.RenderCatalog())
+		return
+	}
+	explicitFlags := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicitFlags[f.Name] = true })
+	if *batchPath != "" {
+		runBatch(*batchPath, *addr, *sysName, *appName, values, explicitFlags,
+			*rounds, *tsize, *dsize, *batchChunk)
 		return
 	}
 	sys, ok := hw.ByName(*sysName)
@@ -73,8 +99,7 @@ func main() {
 	// Required parameter (so `-app synthetic` alone keeps working as it
 	// always has) — it must not clobber a registered app's own schema
 	// default for a parameter that happens to share a flag name.
-	explicit := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	explicit := explicitFlags
 	mergeFlag := func(name string, x float64) {
 		if spec, declared := a.Param(name); declared && (explicit[name] || spec.Required) {
 			a.MergeDeclared(values, name, x)
@@ -168,5 +193,129 @@ func main() {
 		want := engine.Reference(*dim, k)
 		fmt.Printf("\nfunctional run: virtual time %.3fs, %d kernels, %d swaps, results correct: %v\n",
 			res.RTimeSec(), res.Kernels, res.Swaps, g.Equal(want))
+	}
+}
+
+// runBatch is the -batch client mode: read the shapes file, submit the
+// shapes through POST /v1/tune/batch — one call when they fit the
+// chunk size, split into chunk-sized requests otherwise, so a shapes
+// file larger than the daemon's batch limit still tunes — and print
+// per-shape results.
+func runBatch(path, addr, system, app string, values apps.Values, explicit map[string]bool,
+	rounds int, tsize float64, dsize, chunk int) {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	// A classic flag is forwarded when the user set it — or, exactly like
+	// non-batch mode, when it fills a locally known app's Required
+	// parameter from its flag default (so `-batch shapes.txt -app
+	// synthetic` keeps working without spelling out -tsize/-dsize). A
+	// value already supplied via -param wins, mirroring MergeDeclared.
+	forward := map[string]bool{}
+	for _, name := range []string{"rounds", "tsize", "dsize"} {
+		if _, dup := values[name]; dup {
+			continue
+		}
+		forward[name] = explicit[name]
+	}
+	if a, ok := apps.Lookup(app); ok {
+		for name := range forward {
+			if spec, declared := a.Param(name); declared && spec.Required {
+				forward[name] = true
+			}
+		}
+	}
+
+	req := wavefront.BatchTuneRequest{System: system}
+	var shapes []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The shape grammar is owned by core (the search-CSV dim column);
+		// "1900" is square, "600x1400" rectangular.
+		rows, cols, err := core.ParseShape(line)
+		if err != nil {
+			log.Fatal(err)
+		}
+		item := wavefront.TuneRequest{App: app, Params: values}
+		if rows == cols {
+			item.Dim = rows
+		} else {
+			item.Rows, item.Cols = rows, cols
+		}
+		// Classic flags ride as the legacy top-level spellings; the daemon
+		// merges them against the app's declared parameters exactly like a
+		// hand-written /v1/tune request.
+		if forward["rounds"] {
+			item.Rounds = rounds
+		}
+		if forward["tsize"] {
+			v := tsize
+			item.TSize = &v
+		}
+		if forward["dsize"] {
+			v := dsize
+			item.DSize = &v
+		}
+		req.Items = append(req.Items, item)
+		shapes = append(shapes, line)
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(req.Items) == 0 {
+		log.Fatalf("no shapes in %s", path)
+	}
+	if chunk < 1 {
+		chunk = 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	calls, errors := 0, 0
+	var results []wavefront.BatchTuneResult
+	for lo := 0; lo < len(req.Items); lo += chunk {
+		hi := lo + chunk
+		if hi > len(req.Items) {
+			hi = len(req.Items)
+		}
+		part := wavefront.BatchTuneRequest{System: req.System, Items: req.Items[lo:hi]}
+		resp, err := wavefront.TuneBatch(ctx, nil, addr, part)
+		if err != nil {
+			log.Fatal(err)
+		}
+		calls++
+		errors += resp.Errors
+		results = append(results, resp.Results...)
+	}
+	if len(results) > len(shapes) {
+		// Never index past the shapes we actually submitted, whatever the
+		// daemon answered.
+		results = results[:len(shapes)]
+	}
+	fmt.Printf("batch of %d shapes on %s via %s (%d calls, %d errors)\n\n",
+		len(results), system, addr, calls, errors)
+	for i, res := range results {
+		shape := shapes[i]
+		if res.Error != "" {
+			fmt.Printf("%-12s ERROR %s\n", shape, res.Error)
+			continue
+		}
+		mode := "parallel"
+		if res.Serial {
+			mode = "serial"
+		}
+		fmt.Printf("%-12s %-8s cpu_tile=%-3d band=%-5d gpus=%d gpu_tile=%-3d halo=%-3d rtime=%.3gs speedup=%.1fx (%s)\n",
+			shape, mode, res.Params.CPUTile, res.Params.Band, res.Params.GPUCount,
+			res.Params.GPUTile, res.Params.Halo, res.RTimeSec, res.Speedup, res.Cache)
+	}
+	if errors > 0 {
+		os.Exit(1)
 	}
 }

@@ -118,3 +118,164 @@ func TestObservationLogConcurrentAppends(t *testing.T) {
 		t.Errorf("rows = %d, want %d", got, n)
 	}
 }
+
+// TestObservationLogReusesAppender: the per-system file handle stays
+// open across appends (no open/stat/close per call) and every append is
+// flushed — the file is complete and readable while the log stays open.
+func TestObservationLogReusesAppender(t *testing.T) {
+	l, err := NewObservationLog(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	inst := plan.Instance{Dim: 400, TSize: 10, DSize: 1}
+	par := plan.Params{CPUTile: 8, Band: -1, GPUTile: 1, Halo: -1}
+	for i := 0; i < 5; i++ {
+		if err := l.Append("i7-2600K", Observation{Inst: inst, Par: par, RTimeNs: float64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Write-through: read the rows back before Close.
+	f, err := os.Open(l.Path("i7-2600K"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sr, err := ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sr.Instances[0].Points); got != 5 {
+		t.Errorf("rows before Close = %d, want 5 (appends must flush)", got)
+	}
+}
+
+// TestObservationLogClose: Close flushes everything and is idempotent;
+// a late append (a straggler worker outliving a cut-short shutdown
+// drain) still persists through the one-shot fallback instead of
+// being dropped.
+func TestObservationLogClose(t *testing.T) {
+	l, err := NewObservationLog(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := plan.Instance{Dim: 400, TSize: 10, DSize: 1}
+	par := plan.Params{CPUTile: 8, Band: -1, GPUTile: 1, Halo: -1}
+	if err := l.Append("i7-2600K", Observation{Inst: inst, Par: par, RTimeNs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("i3-540", Observation{Inst: inst, Par: par, RTimeNs: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Errorf("second Close: %v, want nil (idempotent)", err)
+	}
+	if err := l.Append("i7-2600K", Observation{Inst: inst, Par: par, RTimeNs: 3}); err != nil {
+		t.Errorf("append after Close = %v, want write-through fallback success", err)
+	}
+	wantRows := map[string]int{"i7-2600K": 2, "i3-540": 1}
+	for _, sys := range []string{"i7-2600K", "i3-540"} {
+		f, err := os.Open(l.Path(sys))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := ReadCSV(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s log unreadable after Close: %v", sys, err)
+		}
+		rows := 0
+		for _, ir := range sr.Instances {
+			rows += len(ir.Points)
+		}
+		if rows != wantRows[sys] {
+			t.Errorf("%s rows = %d, want %d (late append must persist)", sys, rows, wantRows[sys])
+		}
+	}
+}
+
+// TestObservationLogPerSystemConcurrency: appends to different systems
+// from many goroutines (the contended serving pattern) must interleave
+// safely, each file ending complete. Run under -race in CI.
+func TestObservationLogPerSystemConcurrency(t *testing.T) {
+	l, err := NewObservationLog(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := plan.Instance{Dim: 500, TSize: 10, DSize: 1}
+	par := plan.Params{CPUTile: 8, Band: -1, GPUTile: 1, Halo: -1}
+	systems := []string{"i3-540", "i7-2600K", "i7-3820"}
+	const perSys = 25
+	var wg sync.WaitGroup
+	for _, sys := range systems {
+		for i := 0; i < perSys; i++ {
+			wg.Add(1)
+			go func(sys string, i int) {
+				defer wg.Done()
+				if err := l.Append(sys, Observation{Inst: inst, Par: par, RTimeNs: float64(i + 1)}); err != nil {
+					t.Error(err)
+				}
+			}(sys, i)
+		}
+	}
+	wg.Wait()
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range systems {
+		f, err := os.Open(l.Path(sys))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, err := ReadCSV(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: concurrent appends corrupted the log: %v", sys, err)
+		}
+		if got := len(sr.Instances[0].Points); got != perSys {
+			t.Errorf("%s rows = %d, want %d", sys, got, perSys)
+		}
+	}
+}
+
+// TestObservationLogSurvivesRotation: moving a log file aside while the
+// log holds its handle open (the retraining fold pattern) must not
+// divert later appends to the unlinked inode — the next append
+// recreates the file at the path, header included.
+func TestObservationLogSurvivesRotation(t *testing.T) {
+	l, err := NewObservationLog(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	inst := plan.Instance{Dim: 400, TSize: 10, DSize: 1}
+	par := plan.Params{CPUTile: 8, Band: -1, GPUTile: 1, Halo: -1}
+	if err := l.Append("i7-2600K", Observation{Inst: inst, Par: par, RTimeNs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rotated := l.Path("i7-2600K") + ".old"
+	if err := os.Rename(l.Path("i7-2600K"), rotated); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append("i7-2600K", Observation{Inst: inst, Par: par, RTimeNs: 2}); err != nil {
+		t.Fatal(err)
+	}
+	for path, wantRTime := range map[string]float64{l.Path("i7-2600K"): 2, rotated: 1} {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatalf("%s missing after rotation: %v", path, err)
+		}
+		sr, err := ReadCSV(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s unreadable: %v", path, err)
+		}
+		pts := sr.Instances[0].Points
+		if len(pts) != 1 || pts[0].RTimeNs != wantRTime {
+			t.Errorf("%s points = %+v, want one row with rtime %v", path, pts, wantRTime)
+		}
+	}
+}

@@ -96,6 +96,13 @@ type SearchOptions struct {
 // cores, with deterministic output order. The first estimation error
 // cancels the remaining work promptly: in-flight workers stop at their
 // next configuration and queued instances are never started.
+//
+// On error the result is not discarded: the returned SearchResult holds
+// every instance whose full configuration sweep had already completed
+// (in the usual deterministic order), so a failure deep into a long
+// search leaves the caller with the finished work to persist (WriteCSV)
+// or inspect. Callers that only care about complete searches keep their
+// `if err != nil` handling unchanged.
 func Exhaustive(sys hw.System, space Space, opts SearchOptions) (*SearchResult, error) {
 	if opts.ThresholdNs == 0 {
 		opts.ThresholdNs = engine.DefaultThresholdNs
@@ -110,6 +117,10 @@ func Exhaustive(sys hw.System, space Space, opts SearchOptions) (*SearchResult, 
 	}
 	insts := space.Instances()
 	out := &SearchResult{Sys: sys, Space: space, Instances: make([]InstanceResult, len(insts))}
+	// completed marks instances whose full configuration sweep finished;
+	// each index is written by exactly one goroutine (like
+	// out.Instances) and read only after wg.Wait.
+	completed := make([]bool, len(insts))
 
 	var wg sync.WaitGroup
 	var firstErr error
@@ -146,11 +157,21 @@ func Exhaustive(sys hw.System, space Space, opts SearchOptions) (*SearchResult, 
 				})
 			}
 			out.Instances[i] = ir
+			completed[i] = true
 		}()
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return nil, firstErr
+		// Keep the finished instances (deterministic order preserved) so
+		// the completed work survives the failure.
+		kept := out.Instances[:0]
+		for i := range insts {
+			if completed[i] {
+				kept = append(kept, out.Instances[i])
+			}
+		}
+		out.Instances = kept
+		return out, firstErr
 	}
 	return out, nil
 }

@@ -72,6 +72,60 @@ func TestExhaustiveStopsMidSearch(t *testing.T) {
 	}
 }
 
+// TestExhaustivePartialResultsOnError: a failure deep into a sweep must
+// not discard the instances that already completed — they come back
+// alongside the error, in order, ready to persist.
+func TestExhaustivePartialResultsOnError(t *testing.T) {
+	sys := hw.I7_2600K()
+	space := tinySpace()
+	insts := space.Instances()
+	const failIdx = 2 // fail on the third instance's first configuration
+	boom := errors.New("boom")
+	opts := SearchOptions{
+		// One worker serializes the instances in order, so exactly the
+		// instances before failIdx complete.
+		Workers: 1,
+		estimate: func(s hw.System, inst plan.Instance, par plan.Params, o engine.Options) (engine.Result, error) {
+			if inst == insts[failIdx] {
+				return engine.Result{}, boom
+			}
+			return engine.Estimate(s, inst, par, o)
+		},
+	}
+	sr, err := Exhaustive(sys, space, opts)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if sr == nil {
+		t.Fatal("partial result discarded on error")
+	}
+	if len(sr.Instances) != failIdx {
+		t.Fatalf("partial instances = %d, want the %d completed before the failure",
+			len(sr.Instances), failIdx)
+	}
+	for i, ir := range sr.Instances {
+		if ir.Inst != insts[i] {
+			t.Errorf("instance %d = %v, want %v (order must survive compaction)", i, ir.Inst, insts[i])
+		}
+		if want := len(space.Configs(ir.Inst, sys)); len(ir.Points) != want {
+			t.Errorf("instance %d has %d points, want the full sweep of %d", i, len(ir.Points), want)
+		}
+	}
+	// The partial result must be persistable: the CSV round trip is what
+	// wavesweep leans on to save completed work.
+	var buf strings.Builder
+	if err := sr.WriteCSV(&buf); err != nil {
+		t.Fatalf("partial WriteCSV: %v", err)
+	}
+	back, err := ReadCSV(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("partial CSV unreadable: %v", err)
+	}
+	if back.Evaluations() != sr.Evaluations() {
+		t.Errorf("round trip kept %d evaluations, want %d", back.Evaluations(), sr.Evaluations())
+	}
+}
+
 func TestExhaustiveSucceedsWithoutHook(t *testing.T) {
 	// The default path (engine.Estimate) is untouched by the seam.
 	sys := hw.I3_540()

@@ -44,6 +44,20 @@ func writeSearchRow(w io.Writer, system string, inst plan.Instance, par plan.Par
 		strconv.FormatFloat(rtimeNs, 'g', -1, 64), censored, app)
 }
 
+// ParseShape parses the shared shape spelling — a bare integer for
+// square instances or "rowsxcols" for rectangular ones, the same
+// grammar as the search-CSV dim column and Instance.ShapeString — into
+// rows and cols. CLI surfaces (wavetune -batch) reuse it so the shape
+// spelling cannot drift between the CSV reader and the clients.
+func ParseShape(s string) (rows, cols int, err error) {
+	inst, err := parseShapeField(strings.TrimSpace(s))
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: bad shape %q (want 1900 or 600x1400)", s)
+	}
+	rows, cols = inst.Shape()
+	return rows, cols, nil
+}
+
 // parseShapeField inverts shapeField into an instance shape.
 func parseShapeField(s string) (plan.Instance, error) {
 	if r, c, ok := strings.Cut(s, "x"); ok {

@@ -79,7 +79,9 @@ func NewContext(cfg Config) *Context {
 }
 
 // Search returns the cached exhaustive search for sys, running it on
-// first use.
+// first use. On error the partial result (the instances that completed
+// before the failure) is returned alongside it, but never cached — the
+// next call retries the full search.
 func (c *Context) Search(sys hw.System) (*core.SearchResult, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -88,7 +90,7 @@ func (c *Context) Search(sys hw.System) (*core.SearchResult, error) {
 	}
 	sr, err := core.Exhaustive(sys, c.Cfg.Space, core.SearchOptions{})
 	if err != nil {
-		return nil, err
+		return sr, err
 	}
 	c.searches[sys.Name] = sr
 	return sr, nil

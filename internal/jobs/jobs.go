@@ -221,6 +221,10 @@ type Stats struct {
 	Running    int `json:"running"`
 	Workers    int `json:"workers"`
 	QueueDepth int `json:"queue_depth"`
+	// AvgServiceSec is the moving average of observed job service times
+	// (start to finish) — the signal behind the 429 Retry-After hint.
+	// Zero until the first job finishes.
+	AvgServiceSec float64 `json:"avg_service_sec"`
 }
 
 // PlanFunc resolves the tuned plan for an instance, reporting how the

@@ -594,3 +594,55 @@ func TestAppParamsNotAliased(t *testing.T) {
 		t.Errorf("stored app params mutated through an aliased map: %v", got.AppParams)
 	}
 }
+
+// TestRetryAfterHint pins the derived 429 backoff: it scales with the
+// observed service time and the backlog, clamps to [1s, 60s], and
+// rounds up to whole seconds (the header carries integers).
+func TestRetryAfterHint(t *testing.T) {
+	sec := float64(time.Second)
+	cases := []struct {
+		name    string
+		avgNs   float64
+		queued  int
+		workers int
+		want    time.Duration
+	}{
+		{"no observation yet", 0, 10, 4, time.Second},
+		{"no workers", 5 * sec, 10, 0, time.Second},
+		{"fast jobs clamp to the floor", 0.01 * sec, 2, 4, time.Second},
+		// 10s avg, 4 workers, empty queue: 10/4 = 2.5s, rounded up.
+		{"service time alone", 10 * sec, 0, 4, 3 * time.Second},
+		// Same service time, 8 queued over 4 workers: 2.5 * (1+2) = 7.5s.
+		{"backlog scales the hint", 10 * sec, 8, 4, 8 * time.Second},
+		{"slow jobs clamp to the ceiling", 600 * sec, 64, 2, time.Minute},
+	}
+	for _, tc := range cases {
+		if got := RetryAfterHint(tc.avgNs, tc.queued, tc.workers); got != tc.want {
+			t.Errorf("%s: RetryAfterHint(%v, %d, %d) = %v, want %v",
+				tc.name, time.Duration(tc.avgNs), tc.queued, tc.workers, got, tc.want)
+		}
+	}
+}
+
+// TestServiceTimeObserved: finishing jobs feed the moving average that
+// RetryAfter derives from; jobs canceled while still queued do not.
+func TestServiceTimeObserved(t *testing.T) {
+	m := newManager(t, Config{Workers: 1})
+	defer m.Shutdown(context.Background())
+	if m.Stats().AvgServiceSec != 0 {
+		t.Fatal("avg service time non-zero before any job ran")
+	}
+	j, err := m.Submit(Spec{System: "i7-2600K", Inst: testInst(64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Await(context.Background(), j.ID); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats().AvgServiceSec <= 0 {
+		t.Error("finished job did not feed the service-time average")
+	}
+	if hint := m.RetryAfter(); hint < time.Second || hint > time.Minute {
+		t.Errorf("RetryAfter() = %v, want within [1s, 60s]", hint)
+	}
+}

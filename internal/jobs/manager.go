@@ -84,6 +84,10 @@ type Manager struct {
 	closed   bool
 	abort    bool
 	stats    Stats
+	// avgServiceNs is an exponential moving average of observed job
+	// service times (start to finish), feeding the Retry-After hint on
+	// admission-control rejections. Zero until the first job finishes.
+	avgServiceNs float64
 
 	wg sync.WaitGroup
 }
@@ -300,7 +304,50 @@ func (m *Manager) Stats() Stats {
 	s.Running = m.running
 	s.Workers = m.cfg.Workers
 	s.QueueDepth = m.cfg.QueueDepth
+	s.AvgServiceSec = m.avgServiceNs / 1e9
 	return s
+}
+
+// Retry-After clamp range: never tell a client to come back in less
+// than a second (sub-second hints round to zero in the integer header)
+// or more than a minute (a longer hint is a guess, not a schedule).
+const (
+	minRetryAfter = time.Second
+	maxRetryAfter = time.Minute
+)
+
+// RetryAfterHint derives the Retry-After value for a queue-full
+// rejection from the observed average service time and the current
+// backlog. A queue slot opens when the next running job completes —
+// with every worker busy that is avgService/workers on average — and a
+// backlog of queued jobs competing for readmission pushes the realistic
+// horizon out proportionally, so the hint scales with queued/workers.
+// The result is clamped to [1s, 60s] and rounded up to a whole second
+// (the header carries integer seconds). With no observation yet
+// (avgServiceNs <= 0) the hint is the minimum: an empty history means
+// the queue filled before anything finished, and there is nothing
+// better to say than "shortly".
+func RetryAfterHint(avgServiceNs float64, queued, workers int) time.Duration {
+	if avgServiceNs <= 0 || workers <= 0 {
+		return minRetryAfter
+	}
+	est := time.Duration(avgServiceNs / float64(workers) * (1 + float64(queued)/float64(workers)))
+	switch {
+	case est < minRetryAfter:
+		return minRetryAfter
+	case est > maxRetryAfter:
+		return maxRetryAfter
+	}
+	// Round up so the client never retries marginally too early.
+	return (est + time.Second - 1).Truncate(time.Second)
+}
+
+// RetryAfter returns the current admission-control backoff hint (what
+// the HTTP layer sends as Retry-After with a 429).
+func (m *Manager) RetryAfter() time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return RetryAfterHint(m.avgServiceNs, m.queuedN, m.cfg.Workers)
 }
 
 // finishLocked transitions a record into a terminal state (closing its
@@ -316,6 +363,17 @@ func (m *Manager) finishLocked(rec *record, state State, res *Result, errMsg str
 		rec.cancelRequested = false
 	}
 	rec.finished = time.Now()
+	if !rec.started.IsZero() {
+		// Fold the observed service time into the moving average (jobs
+		// canceled while still queued never started and carry no signal).
+		dur := float64(rec.finished.Sub(rec.started))
+		if m.avgServiceNs == 0 {
+			m.avgServiceNs = dur
+		} else {
+			const alpha = 0.2
+			m.avgServiceNs += alpha * (dur - m.avgServiceNs)
+		}
+	}
 	rec.cancel() // release the context's resources
 	close(rec.done)
 	switch state {

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -183,8 +184,14 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	})
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
-		s.writeError(w, http.StatusTooManyRequests, "job queue full; retry later")
+		// The hint is derived from observed job service times and the
+		// current backlog (clamped to [1s, 60s]), not a constant: a queue
+		// of minute-long refine jobs and a queue of millisecond lookups
+		// deserve very different backoff advice.
+		retry := int(s.jobs.RetryAfter() / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		s.writeError(w, http.StatusTooManyRequests,
+			"job queue full; retry in ~%ds", retry)
 		return
 	case errors.Is(err, jobs.ErrClosed):
 		s.writeError(w, http.StatusServiceUnavailable, "shutting down")

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -281,10 +282,43 @@ func TestJobQueueOverflow429(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("overflow status = %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
-		t.Error("429 missing Retry-After header")
+	// The hint is derived (service time x backlog, clamped to [1, 60]),
+	// not hardcoded; with no finished job yet it sits at the minimum.
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil {
+		t.Fatalf("Retry-After %q not an integer: %v", resp.Header.Get("Retry-After"), err)
+	}
+	if ra < 1 || ra > 60 {
+		t.Errorf("Retry-After = %d, want within [1, 60]", ra)
 	}
 	g.release()
+}
+
+// TestRetryAfterTracksServiceTime: once jobs have finished, the 429
+// hint reflects the observed service time instead of a constant — a
+// manager whose jobs run long must advise a longer backoff than the
+// 1-second floor, while staying inside the clamp.
+func TestRetryAfterTracksServiceTime(t *testing.T) {
+	h, g := newGatedServer(t, JobOptions{Workers: 1, QueueDepth: 1})
+
+	// Run one job whose gated resolve holds the worker for a while, so
+	// the recorded service time is measurably large.
+	ji, _ := postJob(t, h.url, `{"system":"i7-2600K","dim":500,"tsize":10,"dsize":1}`)
+	for !g.entered() {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	g.release()
+	if done := pollJob(t, h.url, ji.ID); done.State != "succeeded" {
+		t.Fatalf("job finished %q, want succeeded", done.State)
+	}
+	st := h.s.Jobs().Stats()
+	if st.AvgServiceSec <= 0 {
+		t.Fatalf("avg service time not tracked: %+v", st)
+	}
+	if hint := h.s.Jobs().RetryAfter(); hint < time.Second || hint > time.Minute {
+		t.Errorf("derived hint %v outside clamp", hint)
+	}
 }
 
 // TestJobShutdownDrainsAndPersistsLog: shutdown lets running/queued

@@ -18,6 +18,7 @@
 // Endpoints:
 //
 //	POST   /v1/tune       predict tuned Params for an instance (cache-backed)
+//	POST   /v1/tune/batch predict many instances in one request (deduped, parallel)
 //	POST   /v1/jobs       submit an asynchronous tuned-execution job
 //	GET    /v1/jobs       list job records (filterable by state/system)
 //	GET    /v1/jobs/{id}  poll one job record
@@ -62,6 +63,14 @@ type Config struct {
 	// CacheSize bounds the plan cache (<= 0 selects the tunecache
 	// default).
 	CacheSize int
+	// CacheShards splits the plan cache into this many independently
+	// locked shards so concurrent lookups on different keys never
+	// contend (<= 0 selects the tunecache default, GOMAXPROCS; the
+	// count is clamped so small caches keep exact LRU semantics).
+	CacheShards int
+	// BatchLimit caps the items of one POST /v1/tune/batch request
+	// (<= 0 selects DefaultBatchLimit).
+	BatchLimit int
 	// CachePath, when set, warms the cache from this file at startup (if
 	// it exists) and writes it back on Shutdown.
 	CachePath string
@@ -95,19 +104,21 @@ type JobOptions struct {
 // Server is the tuning daemon: an http.Handler plus the plan cache and
 // lazily resolved per-system tuners behind it.
 type Server struct {
-	cfg     Config
-	systems map[string]hw.System
-	tuners  TunerSource
-	cache   *tunecache.Cache
-	jobs    *jobs.Manager
-	mux     *http.ServeMux
-	start   time.Time
+	cfg      Config
+	systems  map[string]hw.System
+	tuners   TunerSource
+	cache    *tunecache.Cache
+	jobs     *jobs.Manager
+	trainLog *core.ObservationLog
+	mux      *http.ServeMux
+	start    time.Time
 
 	httpMu   sync.Mutex
 	httpSrv  *http.Server
 	shutDown bool
 
 	tuneReqs   atomic.Uint64
+	batchReqs  atomic.Uint64
 	jobReqs    atomic.Uint64
 	appsReqs   atomic.Uint64
 	statsReqs  atomic.Uint64
@@ -139,7 +150,7 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.systems[sys.Name] = sys
 	}
-	s.cache = tunecache.New(cfg.CacheSize, s.predict)
+	s.cache = tunecache.NewSharded(cfg.CacheSize, cfg.CacheShards, s.predict)
 	if cfg.CachePath != "" {
 		if n, err := s.cache.LoadFile(cfg.CachePath); err == nil {
 			s.logf("warmed cache with %d plans from %s", n, cfg.CachePath)
@@ -150,10 +161,9 @@ func New(cfg Config) (*Server, error) {
 			s.logf("ignoring unreadable cache file %s: %v", cfg.CachePath, err)
 		}
 	}
-	var trainLog *core.ObservationLog
 	if cfg.Jobs.TrainingLogDir != "" {
 		var err error
-		if trainLog, err = core.NewObservationLog(cfg.Jobs.TrainingLogDir); err != nil {
+		if s.trainLog, err = core.NewObservationLog(cfg.Jobs.TrainingLogDir); err != nil {
 			return nil, err
 		}
 	}
@@ -171,15 +181,19 @@ func New(cfg Config) (*Server, error) {
 		Workers:      cfg.Jobs.Workers,
 		QueueDepth:   cfg.Jobs.QueueDepth,
 		RefineBudget: cfg.Jobs.RefineBudget,
-		TrainingLog:  trainLog,
+		TrainingLog:  s.trainLog,
 		MaxRecords:   cfg.Jobs.MaxRecords,
 		Logf:         cfg.Logf,
 	})
 	if err != nil {
+		if s.trainLog != nil {
+			s.trainLog.Close()
+		}
 		return nil, err
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/tune", s.handleTune)
+	s.mux.HandleFunc("/v1/tune/batch", s.handleTuneBatch)
 	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("/v1/jobs/", s.handleJobByID)
 	s.mux.HandleFunc("/v1/apps", s.handleApps)
@@ -467,9 +481,17 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusInternalServerError, "tuning failed: %v", err)
 		return
 	}
+	resp := tuneResponseFor(req.System, inst, p, outcome)
+	s.logf("tune %s %s -> %s (%s)", req.System, inst, p.Par, outcome)
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// tuneResponseFor builds the wire form of one served plan (shared by
+// /v1/tune and the per-item results of /v1/tune/batch).
+func tuneResponseFor(system string, inst plan.Instance, p tunecache.Plan, outcome tunecache.Outcome) TuneResponse {
 	rows, cols := inst.Shape()
 	resp := TuneResponse{
-		System:   req.System,
+		System:   system,
 		Instance: TuneInstance{Rows: rows, Cols: cols, TSize: inst.TSize, DSize: inst.DSize},
 		Serial:   p.Serial,
 		Params: TuneParams{
@@ -483,8 +505,7 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	if p.RTimeNs > 0 {
 		resp.Speedup = p.SerialNs / p.RTimeNs
 	}
-	s.logf("tune %s %s -> %s (%s)", req.System, inst, p.Par, outcome)
-	s.writeJSON(w, http.StatusOK, resp)
+	return resp
 }
 
 // SystemInfo describes one served system in GET /v1/systems.
@@ -547,6 +568,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Jobs:          s.jobs.Stats(),
 		Requests: map[string]uint64{
 			"tune":    s.tuneReqs.Load(),
+			"batch":   s.batchReqs.Load(),
 			"jobs":    s.jobReqs.Load(),
 			"apps":    s.appsReqs.Load(),
 			"systems": s.sysReqs.Load(),
@@ -611,6 +633,16 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if jerr := s.jobs.Shutdown(ctx); jerr != nil {
 		s.logf("job drain cut short: %v", jerr)
 		err = errors.Join(err, jerr)
+	}
+	if s.trainLog != nil {
+		// After the job drain: closing flushes the final rows and
+		// releases the per-system appenders. A straggler worker that
+		// outlives a cut-short drain can still append afterwards — the
+		// log falls back to one-shot write-through, so nothing is lost.
+		if cerr := s.trainLog.Close(); cerr != nil {
+			s.logf("closing training log: %v", cerr)
+			err = errors.Join(err, cerr)
+		}
 	}
 	if s.cfg.CachePath != "" {
 		if serr := s.cache.SaveFile(s.cfg.CachePath); serr != nil {

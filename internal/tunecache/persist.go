@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"repro/internal/plan"
 )
@@ -15,8 +16,22 @@ import (
 // fields, small enough to inspect by hand. Instance shapes keep both
 // square and rectangular spellings, mirroring the search-CSV dim column
 // (Instance.ShapeString).
-
-const cacheFormatVersion = 1
+//
+// Format history:
+//
+//   - Version 1: entries of a single-lock cache, least recently used
+//     first (positional recency).
+//   - Version 2: written by the sharded cache. The entry layout is
+//     unchanged and still positional (least recently used first), but
+//     the order is the *global* recency merge across shards (via the
+//     cache's logical clock), and the document records the writer's
+//     shard count as an informational "shards" field. Load accepts both
+//     versions, and a file round-trips across any shard-count change —
+//     the order does not depend on how keys hashed onto shards.
+const (
+	cacheFormatVersion   = 2
+	cacheFormatVersionV1 = 1
+)
 
 // entryDTO is the on-disk form of one cached plan.
 type entryDTO struct {
@@ -39,32 +54,50 @@ type entryDTO struct {
 
 // cacheDTO is the on-disk form of the whole cache.
 type cacheDTO struct {
-	Version int        `json:"version"`
+	Version int `json:"version"`
+	// Shards records the writer's shard count (version >= 2;
+	// informational — a file loads into a cache of any shard count).
+	Shards  int        `json:"shards,omitempty"`
 	Entries []entryDTO `json:"entries"`
 }
 
 // Save writes every resident plan to w as versioned JSON, least recently
-// used first, so that a Load into a fresh cache reproduces the recency
-// order (the last entry loaded becomes the most recent).
+// used first in the global (cross-shard) recency order, so that a Load
+// into a fresh cache reproduces the recency (the last entry loaded
+// becomes the most recent) regardless of either cache's shard count.
 func (c *Cache) Save(w io.Writer) error {
-	c.mu.Lock()
-	dto := cacheDTO{Version: cacheFormatVersion}
-	for el := c.lru.Back(); el != nil; el = el.Prev() {
-		e := el.Value.(*entry)
-		d := entryDTO{
-			System: e.sys, TSize: e.inst.TSize, DSize: e.inst.DSize,
-			Serial: e.val.Serial, CPUTile: e.val.Par.CPUTile,
-			Band: e.val.Par.Band, GPUTile: e.val.Par.GPUTile, Halo: e.val.Par.Halo,
-			RTimeNs: e.val.RTimeNs, SerialNs: e.val.SerialNs,
-		}
-		if rows, cols := e.inst.Shape(); rows == cols {
-			d.Dim = rows
-		} else {
-			d.Rows, d.Cols = rows, cols
-		}
-		dto.Entries = append(dto.Entries, d)
+	type stamped struct {
+		dto   entryDTO
+		stamp uint64
 	}
-	c.mu.Unlock()
+	var all []stamped
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for el := s.lru.Front(); el != nil; el = el.Next() {
+			e := el.Value.(*entry)
+			d := entryDTO{
+				System: e.sys, TSize: e.inst.TSize, DSize: e.inst.DSize,
+				Serial: e.val.Serial, CPUTile: e.val.Par.CPUTile,
+				Band: e.val.Par.Band, GPUTile: e.val.Par.GPUTile, Halo: e.val.Par.Halo,
+				RTimeNs: e.val.RTimeNs, SerialNs: e.val.SerialNs,
+			}
+			if rows, cols := e.inst.Shape(); rows == cols {
+				d.Dim = rows
+			} else {
+				d.Rows, d.Cols = rows, cols
+			}
+			all = append(all, stamped{dto: d, stamp: e.stamp})
+		}
+		s.mu.Unlock()
+	}
+	// Global clock stamps are unique and monotone, so ascending order is
+	// the merged least-to-most-recent order across every shard.
+	sort.Slice(all, func(i, j int) bool { return all[i].stamp < all[j].stamp })
+	dto := cacheDTO{Version: cacheFormatVersion, Shards: len(c.shards)}
+	dto.Entries = make([]entryDTO, len(all))
+	for i, s := range all {
+		dto.Entries[i] = s.dto
+	}
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -74,20 +107,24 @@ func (c *Cache) Save(w io.Writer) error {
 	return nil
 }
 
-// Load reads a document written by Save and warms the cache with its
-// entries, in order. It returns the number of plans loaded. Loading is
-// all-or-nothing: every entry is validated — the instance, and the
-// params via plan.Build, so a corrupt file cannot inject settings the
-// library itself rejects — before any is inserted. Entries beyond the
-// capacity evict in the usual LRU order, so loading a large file into a
-// small cache keeps the file's most recent tail.
+// Load reads a document written by Save — the current version-2 format
+// or a version-1 file from a pre-sharding daemon (the entry layout is
+// identical) — and warms the cache with its entries, in order. It
+// returns the number of plans loaded. Loading is all-or-nothing: every
+// entry is validated — the instance, and the params via plan.Build, so a
+// corrupt file cannot inject settings the library itself rejects —
+// before any is inserted. Entries beyond the capacity evict in the usual
+// per-shard LRU order, so loading a large file into a small cache keeps
+// the file's most recent tail (exactly for an unsharded cache,
+// approximately across shards).
 func (c *Cache) Load(r io.Reader) (int, error) {
 	var dto cacheDTO
 	if err := json.NewDecoder(r).Decode(&dto); err != nil {
 		return 0, fmt.Errorf("tunecache: decoding cache: %w", err)
 	}
-	if dto.Version != cacheFormatVersion {
-		return 0, fmt.Errorf("tunecache: cache format version %d, want %d", dto.Version, cacheFormatVersion)
+	if dto.Version != cacheFormatVersion && dto.Version != cacheFormatVersionV1 {
+		return 0, fmt.Errorf("tunecache: cache format version %d, want %d or %d",
+			dto.Version, cacheFormatVersionV1, cacheFormatVersion)
 	}
 	type staged struct {
 		sys  string

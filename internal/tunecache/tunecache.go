@@ -7,18 +7,38 @@
 // a single predict runs while every other caller blocks on its result
 // (the singleflight pattern). The cache persists to a versioned JSON
 // file, letting a daemon restart warm.
+//
+// The cache is sharded: keys hash onto independently locked shards
+// (default GOMAXPROCS, see NewSharded), each with its own LRU list,
+// entry map and in-flight singleflight table, so concurrent lookups on
+// different keys never contend on one mutex. Recency is tracked by a
+// global logical clock, letting Save merge the shards back into a single
+// least-to-most-recent order regardless of how keys were distributed.
+// Eviction is per shard (each shard holds its slice of the capacity), so
+// the LRU bound is exact per shard and approximate globally; a cache
+// small enough that sharding could distort eviction collapses to a
+// single shard and behaves exactly like a classic LRU.
 package tunecache
 
 import (
 	"container/list"
 	"fmt"
+	"hash/maphash"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/plan"
 )
 
 // DefaultCapacity bounds the cache when the caller does not.
 const DefaultCapacity = 512
+
+// minShardCapacity is the smallest per-shard LRU bound worth having:
+// below it, sharding would distort eviction more than it relieves
+// contention, so the shard count is clamped to capacity/minShardCapacity
+// (and a tiny cache runs unsharded with exact LRU semantics).
+const minShardCapacity = 8
 
 // Plan is a cached tuning decision: the tuner's prediction plus the
 // modeled runtimes that contextualize it.
@@ -88,48 +108,123 @@ type Stats struct {
 // Lookups returns the total number of Gets observed.
 func (s Stats) Lookups() uint64 { return s.Hits + s.Misses + s.Coalesced }
 
-// entry is one cache slot. While the predict is in flight, done is open
-// and elem is nil; once done closes, val/err are immutable and, on
-// success, elem links the entry into the LRU list.
-type entry struct {
-	key  string
-	sys  string
-	inst plan.Instance
-	done chan struct{}
-	val  Plan
-	err  error
-	elem *list.Element
+// add accumulates another counter block (shard aggregation).
+func (s *Stats) add(o Stats) {
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Coalesced += o.Coalesced
+	s.Evictions += o.Evictions
+	s.Errors += o.Errors
+	s.Size += o.Size
 }
 
-// Cache is a concurrency-safe LRU plan cache with singleflight miss
-// deduplication. The zero value is not usable; construct with New.
-type Cache struct {
+// entry is one cache slot. While the predict is in flight, done is open
+// and elem is nil; once done closes, val/err are immutable and, on
+// success, elem links the entry into the shard's LRU list. stamp is the
+// global-clock reading of the last touch (guarded by the shard mutex).
+type entry struct {
+	key   string
+	sys   string
+	inst  plan.Instance
+	done  chan struct{}
+	val   Plan
+	err   error
+	elem  *list.Element
+	stamp uint64
+}
+
+// shard is one independently locked slice of the cache: its own entry
+// map, LRU list, in-flight table (entries with a nil elem) and counters.
+type shard struct {
 	mu      sync.Mutex
 	cap     int
-	predict PredictFunc
 	entries map[string]*entry
 	lru     *list.List // front = most recently used; values are *entry
 	stats   Stats
 	bySys   map[string]*Stats
 }
 
+// Cache is a concurrency-safe sharded LRU plan cache with singleflight
+// miss deduplication. The zero value is not usable; construct with New
+// or NewSharded.
+type Cache struct {
+	cap     int
+	predict PredictFunc
+	shards  []*shard
+	seed    maphash.Seed
+	// clock is the global recency counter: every touch (hit, insert,
+	// Put) stamps the entry, so Save can merge per-shard LRU lists into
+	// one global least-to-most-recent order.
+	clock atomic.Uint64
+}
+
 // New creates a cache bounded to capacity resident plans (DefaultCapacity
-// when capacity <= 0) that fills misses through predict.
+// when capacity <= 0) that fills misses through predict, sharded the
+// default way (see NewSharded with shards = 0).
 func New(capacity int, predict PredictFunc) *Cache {
+	return NewSharded(capacity, 0, predict)
+}
+
+// NewSharded creates a cache bounded to capacity resident plans
+// (DefaultCapacity when capacity <= 0) split across the given number of
+// independently locked shards. shards <= 0 selects GOMAXPROCS. The
+// count is clamped so every shard keeps a useful LRU slice (at least
+// minShardCapacity entries), which means a small cache runs unsharded
+// and keeps exact global LRU semantics.
+func NewSharded(capacity, shards int, predict PredictFunc) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
-	return &Cache{
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if max := capacity / minShardCapacity; shards > max {
+		shards = max
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	c := &Cache{
 		cap:     capacity,
 		predict: predict,
-		entries: make(map[string]*entry),
-		lru:     list.New(),
-		bySys:   make(map[string]*Stats),
+		shards:  make([]*shard, shards),
+		seed:    maphash.MakeSeed(),
 	}
+	// Distribute the capacity so the shard bounds sum exactly to the
+	// requested total.
+	base, extra := capacity/shards, capacity%shards
+	for i := range c.shards {
+		sc := base
+		if i < extra {
+			sc++
+		}
+		c.shards[i] = &shard{
+			cap:     sc,
+			entries: make(map[string]*entry),
+			lru:     list.New(),
+			bySys:   make(map[string]*Stats),
+		}
+	}
+	return c
 }
 
-// maxTrackedSystems bounds the per-system counter map: unlike the
-// entries, counters survive eviction, so a caller feeding unbounded
+// shardFor hashes a key onto its shard.
+func (c *Cache) shardFor(key string) *shard {
+	if len(c.shards) == 1 {
+		return c.shards[0]
+	}
+	return c.shards[maphash.String(c.seed, key)%uint64(len(c.shards))]
+}
+
+// Shards returns the number of independently locked shards.
+func (c *Cache) Shards() int { return len(c.shards) }
+
+// touch stamps an entry with the current global clock reading. Caller
+// holds the entry's shard mutex.
+func (c *Cache) touch(e *entry) { e.stamp = c.clock.Add(1) }
+
+// maxTrackedSystems bounds each shard's per-system counter map: unlike
+// the entries, counters survive eviction, so a caller feeding unbounded
 // distinct system names must not leak memory. Beyond the bound, new
 // names aggregate under OverflowSystem.
 const maxTrackedSystems = 1024
@@ -139,19 +234,19 @@ const maxTrackedSystems = 1024
 const OverflowSystem = "(other)"
 
 // sysStatsLocked returns (creating if needed) the named system's counter
-// block. Caller holds c.mu.
-func (c *Cache) sysStatsLocked(system string) *Stats {
-	if st, ok := c.bySys[system]; ok {
+// block. Caller holds s.mu.
+func (s *shard) sysStatsLocked(system string) *Stats {
+	if st, ok := s.bySys[system]; ok {
 		return st
 	}
-	if len(c.bySys) >= maxTrackedSystems {
-		if st, ok := c.bySys[OverflowSystem]; ok {
+	if len(s.bySys) >= maxTrackedSystems {
+		if st, ok := s.bySys[OverflowSystem]; ok {
 			return st
 		}
 		system = OverflowSystem
 	}
 	st := &Stats{}
-	c.bySys[system] = st
+	s.bySys[system] = st
 	return st
 }
 
@@ -175,32 +270,34 @@ func (c *Cache) Get(system string, inst plan.Instance) (Plan, Outcome, error) {
 	}
 	inst = inst.Normalize()
 	k := Key(system, inst)
+	s := c.shardFor(k)
 
-	c.mu.Lock()
-	if e, ok := c.entries[k]; ok {
+	s.mu.Lock()
+	if e, ok := s.entries[k]; ok {
 		if e.elem != nil {
 			// Resident.
-			c.lru.MoveToFront(e.elem)
-			c.stats.Hits++
-			c.sysStatsLocked(system).Hits++
+			s.lru.MoveToFront(e.elem)
+			c.touch(e)
+			s.stats.Hits++
+			s.sysStatsLocked(system).Hits++
 			val := e.val
-			c.mu.Unlock()
+			s.mu.Unlock()
 			return val, Hit, nil
 		}
 		// In flight: join it.
-		c.stats.Coalesced++
-		c.sysStatsLocked(system).Coalesced++
-		c.mu.Unlock()
+		s.stats.Coalesced++
+		s.sysStatsLocked(system).Coalesced++
+		s.mu.Unlock()
 		<-e.done
 		return e.val, Coalesced, e.err
 	}
 
 	// Miss: this caller leads the flight.
 	e := &entry{key: k, sys: system, inst: inst, done: make(chan struct{})}
-	c.entries[k] = e
-	c.stats.Misses++
-	c.sysStatsLocked(system).Misses++
-	c.mu.Unlock()
+	s.entries[k] = e
+	s.stats.Misses++
+	s.sysStatsLocked(system).Misses++
+	s.mu.Unlock()
 
 	// A panicking predict must still settle the flight, or every waiter
 	// (and every future Get for the key) would block forever on done;
@@ -214,18 +311,19 @@ func (c *Cache) Get(system string, inst plan.Instance) (Plan, Outcome, error) {
 		return c.predict(system, inst)
 	}()
 
-	c.mu.Lock()
+	s.mu.Lock()
 	e.val, e.err = val, err
 	if err != nil {
-		c.stats.Errors++
-		c.sysStatsLocked(system).Errors++
-		delete(c.entries, k)
+		s.stats.Errors++
+		s.sysStatsLocked(system).Errors++
+		delete(s.entries, k)
 	} else {
-		e.elem = c.lru.PushFront(e)
-		c.evictLocked()
+		e.elem = s.lru.PushFront(e)
+		c.touch(e)
+		s.evictLocked()
 	}
 	close(e.done)
-	c.mu.Unlock()
+	s.mu.Unlock()
 	return val, Miss, err
 }
 
@@ -241,83 +339,114 @@ func (c *Cache) Put(system string, inst plan.Instance, p Plan) error {
 	}
 	inst = inst.Normalize()
 	k := Key(system, inst)
+	s := c.shardFor(k)
 
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if old, ok := c.entries[k]; ok {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.entries[k]; ok {
 		if old.elem == nil {
 			return nil // in flight; do not race its result
 		}
 		// Replace rather than mutate: a coalesced Get that woke on
 		// old.done may still be reading old.val outside the lock, so a
 		// settled entry must stay immutable forever.
-		c.lru.Remove(old.elem)
-		delete(c.entries, k)
+		s.lru.Remove(old.elem)
+		delete(s.entries, k)
 	}
 	e := &entry{key: k, sys: system, inst: inst, val: p, done: make(chan struct{})}
 	close(e.done)
-	e.elem = c.lru.PushFront(e)
-	c.entries[k] = e
-	c.evictLocked()
+	e.elem = s.lru.PushFront(e)
+	c.touch(e)
+	s.entries[k] = e
+	s.evictLocked()
 	return nil
 }
 
-// evictLocked drops least-recently-used resident entries until the bound
-// holds. Caller holds c.mu.
-func (c *Cache) evictLocked() {
-	for c.lru.Len() > c.cap {
-		back := c.lru.Back()
+// evictLocked drops least-recently-used resident entries until the
+// shard's bound holds. Caller holds s.mu.
+func (s *shard) evictLocked() {
+	for s.lru.Len() > s.cap {
+		back := s.lru.Back()
 		e := back.Value.(*entry)
-		c.lru.Remove(back)
-		delete(c.entries, e.key)
-		c.stats.Evictions++
-		c.sysStatsLocked(e.sys).Evictions++
+		s.lru.Remove(back)
+		delete(s.entries, e.key)
+		s.stats.Evictions++
+		s.sysStatsLocked(e.sys).Evictions++
 	}
 }
 
 // Len returns the number of resident plans.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.lru.Len()
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		n += s.lru.Len()
+		s.mu.Unlock()
+	}
+	return n
 }
 
-// Capacity returns the LRU bound.
+// Capacity returns the total LRU bound across all shards.
 func (c *Cache) Capacity() int { return c.cap }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters, aggregated across shards.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.Size = c.lru.Len()
-	s.Capacity = c.cap
-	return s
+	var out Stats
+	for _, s := range c.shards {
+		s.mu.Lock()
+		st := s.stats
+		st.Size = s.lru.Len()
+		s.mu.Unlock()
+		out.add(st)
+	}
+	out.Capacity = c.cap
+	return out
 }
 
-// SystemStats returns per-system snapshots of the counters: how each
-// served platform's traffic is hitting the cache. Size counts that
-// system's resident plans; Capacity is the shared LRU bound. Systems
-// that only ever entered via Put/Load appear with zero lookup counters
-// but a non-zero Size.
+// shardLens returns the resident-entry count of every shard (for the
+// distribution sanity tests).
+func (c *Cache) shardLens() []int {
+	out := make([]int, len(c.shards))
+	for i, s := range c.shards {
+		s.mu.Lock()
+		out[i] = s.lru.Len()
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// SystemStats returns per-system snapshots of the counters, aggregated
+// across shards: how each served platform's traffic is hitting the
+// cache. Size counts that system's resident plans; Capacity is the
+// shared total bound. Systems that only ever entered via Put/Load appear
+// with zero lookup counters but a non-zero Size.
 func (c *Cache) SystemStats() map[string]Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	sizes := make(map[string]int)
-	for el := c.lru.Front(); el != nil; el = el.Next() {
-		sizes[el.Value.(*entry).sys]++
-	}
-	out := make(map[string]Stats, len(c.bySys))
-	for sys, st := range c.bySys {
-		s := *st
-		s.Size = sizes[sys]
-		s.Capacity = c.cap
-		out[sys] = s
-	}
-	for sys, n := range sizes {
-		if _, ok := out[sys]; !ok {
-			out[sys] = Stats{Size: n, Capacity: c.cap}
+	out := make(map[string]Stats)
+	for _, s := range c.shards {
+		s.mu.Lock()
+		sizes := make(map[string]int)
+		for el := s.lru.Front(); el != nil; el = el.Next() {
+			sizes[el.Value.(*entry).sys]++
 		}
+		for sys, st := range s.bySys {
+			agg := out[sys]
+			agg.add(Stats{
+				Hits: st.Hits, Misses: st.Misses, Coalesced: st.Coalesced,
+				Evictions: st.Evictions, Errors: st.Errors, Size: sizes[sys],
+			})
+			out[sys] = agg
+			delete(sizes, sys)
+		}
+		for sys, n := range sizes {
+			agg := out[sys]
+			agg.Size += n
+			out[sys] = agg
+		}
+		s.mu.Unlock()
+	}
+	for sys, st := range out {
+		st.Capacity = c.cap
+		out[sys] = st
 	}
 	return out
 }

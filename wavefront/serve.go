@@ -10,14 +10,19 @@ package wavefront
 // so downstream code never imports repro/internal/... directly.
 
 import (
+	"context"
+	"net/http"
+
 	"repro/internal/core"
 	"repro/internal/jobs"
 	"repro/internal/service"
 	"repro/internal/tunecache"
 )
 
-// PlanCache is a concurrency-safe LRU cache of tuned plans with
+// PlanCache is a concurrency-safe sharded LRU cache of tuned plans with
 // singleflight deduplication of concurrent misses and JSON persistence.
+// Keys hash onto independently locked shards, so concurrent lookups on
+// different keys never contend on one mutex.
 type PlanCache = tunecache.Cache
 
 // CachedPlan is a cached tuning decision with its modeled runtimes.
@@ -62,15 +67,65 @@ type ReadyReporter = service.ReadyReporter
 type TrainingSourceOptions = service.TrainingSourceOptions
 
 // NewPlanCache creates a plan cache bounded to capacity entries
-// (capacity <= 0 selects the default) filling misses through predict.
+// (capacity <= 0 selects the default) filling misses through predict,
+// sharded the default way (GOMAXPROCS shards, clamped for small caches).
 func NewPlanCache(capacity int, predict PredictFunc) *PlanCache {
 	return tunecache.New(capacity, predict)
+}
+
+// CacheOptions configure NewPlanCacheOpts beyond the capacity bound.
+type CacheOptions struct {
+	// Capacity bounds the resident plans (<= 0 selects the default).
+	Capacity int
+	// Shards is the number of independently locked shards (<= 0 selects
+	// GOMAXPROCS; the count is clamped so every shard keeps a useful
+	// LRU slice, meaning small caches stay unsharded with exact LRU
+	// semantics).
+	Shards int
+}
+
+// NewPlanCacheOpts creates a plan cache with explicit sharding control;
+// NewPlanCache is the common-default shorthand.
+func NewPlanCacheOpts(opts CacheOptions, predict PredictFunc) *PlanCache {
+	return tunecache.NewSharded(opts.Capacity, opts.Shards, predict)
 }
 
 // NewTuningServer builds the tuning daemon from cfg. The zero config
 // serves every Table 4 system with lazily trained quick-space tuners.
 func NewTuningServer(cfg TuningConfig) (*TuningServer, error) {
 	return service.New(cfg)
+}
+
+// TuneRequest is one tune query in the daemon's wire format: the
+// instance shape plus either explicit granularity or a named catalog
+// application (the per-item element of BatchTuneRequest).
+type TuneRequest = service.TuneRequest
+
+// BatchTuneRequest is the body of POST /v1/tune/batch: up to the
+// daemon's batch limit of tune queries answered in one round trip, with
+// repeated shapes deduplicated server-side.
+type BatchTuneRequest = service.BatchTuneRequest
+
+// DefaultBatchLimit is the daemon's default cap on items per batch
+// request (waved -batch-limit overrides it); clients submitting more
+// shapes than this should chunk.
+const DefaultBatchLimit = service.DefaultBatchLimit
+
+// BatchTuneResponse is the reply of POST /v1/tune/batch; Results aligns
+// index-for-index with the request's items.
+type BatchTuneResponse = service.BatchTuneResponse
+
+// BatchTuneResult is one batch item's outcome: a tune response, or an
+// error scoped to that item alone.
+type BatchTuneResult = service.BatchTuneResult
+
+// TuneBatch submits a batch of tune queries to the daemon at baseURL
+// (e.g. "http://localhost:8080") in one POST /v1/tune/batch round trip.
+// client == nil selects http.DefaultClient. Per-item failures are
+// reported in the result slice; only a rejected batch (too many items,
+// malformed request, unreachable daemon) returns an error.
+func TuneBatch(ctx context.Context, client *http.Client, baseURL string, req BatchTuneRequest) (*BatchTuneResponse, error) {
+	return service.BatchTune(ctx, client, baseURL, req)
 }
 
 // NewTrainingTunerSource returns a TunerSource that trains a tuner per
