@@ -291,6 +291,69 @@ func BenchmarkNativeParallelUntiled(b *testing.B) {
 	}
 }
 
+// BenchmarkFrontierDense pins the tentpole's perf acceptance: driving
+// the dense sweep through the frontier abstraction must stay within
+// tolerance of the closed-form anti-diagonal path it generalizes. The
+// serial pair compares RunSerialDiagRange against RunSerialFrontier's
+// DiagFrontier fast path; the pooled pair compares the tile-diagonal
+// executor against RunFrontier over the same grid.
+func BenchmarkFrontierDense(b *testing.B) {
+	k := kernels.NewSynthetic(500, 1)
+	b.Run("serial/diag", func(b *testing.B) {
+		g := grid.New(256, 1)
+		for i := 0; i < b.N; i++ {
+			cpuexec.RunSerialDiagRange(k, g, 0, g.NumDiags()-1)
+		}
+	})
+	b.Run("serial/frontier", func(b *testing.B) {
+		g := grid.New(256, 1)
+		for i := 0; i < b.N; i++ {
+			if err := cpuexec.RunSerialFrontier(k, g, grid.NewDiagFrontier(256, 256)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ex := cpuexec.New(0)
+	defer ex.Close()
+	b.Run("pooled/tilediag", func(b *testing.B) {
+		g := grid.New(256, 1)
+		for i := 0; i < b.N; i++ {
+			if err := ex.Run(k, g, 16); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("pooled/frontier", func(b *testing.B) {
+		g := grid.New(256, 1)
+		ctx := context.Background()
+		for i := 0; i < b.N; i++ {
+			if err := ex.RunFrontier(ctx, k, g, grid.NewDiagFrontier(256, 256)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFrontierIrregular measures the irregular substrate on the
+// masked catalog workload it exists for: morphological reconstruction
+// over a half-open mask, scheduled cell-level and tile-level.
+func BenchmarkFrontierIrregular(b *testing.B) {
+	k := kernels.NewMorphRecon(-1, 1)
+	ex := cpuexec.New(0)
+	defer ex.Close()
+	ctx := context.Background()
+	for _, ct := range []int{1, 16} {
+		b.Run(fmt.Sprintf("ct=%d", ct), func(b *testing.B) {
+			g := grid.New(256, k.DSize())
+			for i := 0; i < b.N; i++ {
+				if err := ex.RunIrregular(ctx, k, g, ct); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkEstimateHybrid(b *testing.B) {
 	sys := hw.I7_2600K()
 	inst := plan.Instance{Dim: 1900, TSize: 2000, DSize: 1}

@@ -1,0 +1,215 @@
+// Command benchtraj records the repository's performance trajectory:
+// it runs the key serving and substrate benchmarks, writes the medians
+// to BENCH_<date>.json at the repository root, and gates the result
+// against the most recent previous snapshot. A benchmark whose ns/op
+// grew by more than -tol (default 5%) fails the run — the budget the
+// frontier refactor promised the dense path — unless -warn-only
+// downgrades regressions to warnings (what CI uses, since shared
+// runners are noisy).
+//
+// Usage:
+//
+//	benchtraj [-bench regex] [-count 3] [-benchtime 20x] [-dir .]
+//	          [-tol 0.05] [-warn-only] [-dry-run]
+//
+// The snapshot records one ns/op number per benchmark (the median
+// across -count runs) plus the host fingerprint, so consecutive files
+// in the repository form a reviewable perf history. Comparisons across
+// different machines are advisory only; the gate is meant for
+// before/after runs on one host.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// defaultBench selects the trajectory set: the serving hot paths
+// (plan-cache hits, batch tuning, job throughput) and the frontier
+// substrate including its dense-parity pairs.
+const defaultBench = "Frontier|PlanCacheHit|TuneBatch|JobThroughput"
+
+// Snapshot is the schema of one BENCH_<date>.json file.
+type Snapshot struct {
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Bench      string `json:"bench"`
+	Count      int    `json:"count"`
+	Benchtime  string `json:"benchtime"`
+	// Results maps benchmark name (GOMAXPROCS suffix stripped) to the
+	// median ns/op across the runs.
+	Results map[string]float64 `json:"results_ns_per_op"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchtraj: ")
+	bench := flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
+	count := flag.Int("count", 3, "runs per benchmark; the median is recorded")
+	benchtime := flag.String("benchtime", "20x", "go test -benchtime per run")
+	dir := flag.String("dir", ".", "directory holding BENCH_<date>.json snapshots (the repo root)")
+	tol := flag.Float64("tol", 0.05, "allowed fractional ns/op growth vs the previous snapshot")
+	warnOnly := flag.Bool("warn-only", false, "report regressions but exit 0 (noisy shared runners)")
+	dryRun := flag.Bool("dry-run", false, "run and compare but do not write the snapshot file")
+	flag.Parse()
+
+	out, err := runBench(*dir, *bench, *count, *benchtime)
+	if err != nil {
+		log.Fatal(err)
+	}
+	results, err := parseBench(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(results) == 0 {
+		log.Fatalf("no benchmarks matched %q", *bench)
+	}
+
+	snap := Snapshot{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Bench:      *bench,
+		Count:      *count,
+		Benchtime:  *benchtime,
+		Results:    results,
+	}
+	outFile := filepath.Join(*dir, "BENCH_"+snap.Date+".json")
+
+	prevFile, prev, err := latestSnapshot(*dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	regressions := 0
+	for _, n := range names {
+		cur := results[n]
+		switch {
+		case prev == nil:
+			fmt.Printf("  %-60s %12.0f ns/op  (baseline)\n", n, cur)
+		default:
+			old, ok := prev.Results[n]
+			if !ok || old <= 0 {
+				fmt.Printf("  %-60s %12.0f ns/op  (new)\n", n, cur)
+				continue
+			}
+			delta := cur/old - 1
+			mark := "ok"
+			if delta > *tol {
+				mark = "REGRESSION"
+				regressions++
+			}
+			fmt.Printf("  %-60s %12.0f ns/op  %+6.1f%%  %s\n", n, cur, 100*delta, mark)
+		}
+	}
+
+	if !*dryRun {
+		if err := writeSnapshot(outFile, snap); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", outFile)
+	}
+	switch {
+	case prev == nil:
+		fmt.Println("no previous snapshot; trajectory baseline established (gate not applied)")
+	case regressions == 0:
+		fmt.Printf("trajectory vs %s: within %.0f%% tolerance\n", filepath.Base(prevFile), 100**tol)
+	case *warnOnly:
+		fmt.Printf("WARNING: %d benchmark(s) regressed >%.0f%% vs %s (warn-only)\n",
+			regressions, 100**tol, filepath.Base(prevFile))
+	default:
+		log.Fatalf("%d benchmark(s) regressed >%.0f%% vs %s",
+			regressions, 100**tol, filepath.Base(prevFile))
+	}
+}
+
+// runBench invokes the repository's benchmarks and returns the raw
+// `go test` output.
+func runBench(dir, bench string, count int, benchtime string) (string, error) {
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", bench, "-count", strconv.Itoa(count), "-benchtime", benchtime, ".")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return "", fmt.Errorf("go test -bench: %v\n%s", err, out)
+	}
+	return string(out), nil
+}
+
+// benchLine matches one result line of go test -bench output, e.g.
+//
+//	BenchmarkFrontierDense/serial/diag-8   10   48284734 ns/op   12 items/s
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?[0-9]+)?) ns/op`)
+
+// parseBench extracts per-benchmark ns/op medians from raw output. The
+// -N GOMAXPROCS suffix is stripped so snapshots from hosts with
+// different core counts key identically.
+func parseBench(out string) (map[string]float64, error) {
+	samples := map[string][]float64{}
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %v", line, err)
+		}
+		samples[m[1]] = append(samples[m[1]], v)
+	}
+	results := make(map[string]float64, len(samples))
+	for name, vs := range samples {
+		sort.Float64s(vs)
+		results[name] = vs[len(vs)/2]
+	}
+	return results, nil
+}
+
+// latestSnapshot finds the newest BENCH_<date>.json in dir. Date order
+// is lexical order by construction of the names. Comparison runs
+// before the new snapshot is written, so a same-day rerun gates
+// against the committed file and then overwrites it.
+func latestSnapshot(dir string) (string, *Snapshot, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", nil, err
+	}
+	sort.Strings(matches)
+	for i := len(matches) - 1; i >= 0; i-- {
+		data, err := os.ReadFile(matches[i])
+		if err != nil {
+			return "", nil, err
+		}
+		var s Snapshot
+		if err := json.Unmarshal(data, &s); err != nil {
+			return "", nil, fmt.Errorf("%s: %v", matches[i], err)
+		}
+		return matches[i], &s, nil
+	}
+	return "", nil, nil
+}
+
+func writeSnapshot(path string, s Snapshot) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -94,6 +94,13 @@ type App struct {
 	// Kernel constructs the kernel for a shape and resolved parameter
 	// values (functional simulation, wavetune -run, CalibrateTSize).
 	Kernel func(rows, cols int, v Values) (kernels.Kernel, error)
+	// LiveCells, when set, returns the number of cells of the live
+	// region for a masked workload (Nussinov's triangle, a mask's open
+	// pixels), in closed form. Like Granularity it must be cheap and
+	// must not construct a kernel: the daemon calls it per request to
+	// stamp plan.Instance.LiveCells, which scales the cost model. Nil
+	// means dense — every cell carries work.
+	LiveCells func(rows, cols int, v Values) int
 }
 
 // Param returns the spec of the named parameter.
@@ -218,6 +225,18 @@ func (a App) InstanceFor(rows, cols int, v Values) (plan.Instance, Values, error
 		return plan.Instance{}, nil, fmt.Errorf("app %q: %w", a.Name, err)
 	}
 	inst := plan.Instance{Rows: rows, Cols: cols, TSize: tsize, DSize: dsize}
+	if a.LiveCells != nil {
+		live := a.LiveCells(rows, cols, rv)
+		if live < 0 || live > rows*cols {
+			return plan.Instance{}, nil, fmt.Errorf("app %q: live cells %d outside [0,%d]",
+				a.Name, live, rows*cols)
+		}
+		// A full-rectangle count stays dense (LiveCells == 0): the cache
+		// key and cost model are unchanged when nothing is masked off.
+		if live < rows*cols {
+			inst.LiveCells = live
+		}
+	}
 	return inst.Normalize(), rv, nil
 }
 

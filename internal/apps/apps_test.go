@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -135,13 +136,14 @@ func TestShapeConstraints(t *testing.T) {
 }
 
 // TestBuiltinCatalogComplete pins the acceptance floor: the four paper
-// apps plus the four extended workloads, every one resolvable to a
-// valid instance and kernel.
+// apps plus the extended workloads (including the irregular
+// morphological-reconstruction app), every one resolvable to a valid
+// instance and kernel.
 func TestBuiltinCatalogComplete(t *testing.T) {
-	want := []string{"dtw", "knapsack", "lcs", "nash", "nussinov", "seqcompare", "swaffine", "synthetic"}
+	want := []string{"dtw", "knapsack", "lcs", "morphrecon", "nash", "nussinov", "seqcompare", "swaffine", "synthetic"}
 	got := Names()
-	if len(got) < 8 {
-		t.Fatalf("catalog has %d apps, want >= 8: %v", len(got), got)
+	if len(got) < 9 {
+		t.Fatalf("catalog has %d apps, want >= 9: %v", len(got), got)
 	}
 	set := map[string]bool{}
 	for _, n := range got {
@@ -191,10 +193,12 @@ func requiredValues(a App) Values {
 
 // TestEveryAppOrderInvariant is the dependency-order invariance check
 // for the whole catalog: computing a kernel's grid in row-major serial
-// order, strict anti-diagonal order, tiled-parallel wavefront order and
-// through the engine's three-phase functional simulation must yield
-// bit-identical grids. This is the property the executors and the
-// multi-GPU band partitioning rely on.
+// order, strict anti-diagonal order, tiled-parallel wavefront order,
+// irregular-frontier order (cell-level and tiled in-degree scheduling
+// over the kernel's declared live region) and through the engine's
+// three-phase functional simulation must yield bit-identical grids.
+// This is the property the executors and the multi-GPU band
+// partitioning rely on.
 func TestEveryAppOrderInvariant(t *testing.T) {
 	sys := hw.I7_2600K()
 	for _, a := range All() {
@@ -227,6 +231,27 @@ func TestEveryAppOrderInvariant(t *testing.T) {
 				}
 				if !ref.Equal(tiled) {
 					t.Errorf("tiled execution (ct=%d) diverges from row-major", ct)
+				}
+			}
+
+			// Irregular-frontier execution over the kernel's declared
+			// live region: serial drain, then pooled cell-level and
+			// tiled in-degree scheduling.
+			irr := grid.NewRect(rows, cols, k.DSize())
+			f := grid.NewIrregularFrontier(rows, cols, kernels.StencilOf(k), kernels.LiveOf(k, rows, cols))
+			if err := cpuexec.RunSerialFrontier(k, irr, f); err != nil {
+				t.Fatal(err)
+			}
+			if !ref.Equal(irr) {
+				t.Error("serial frontier execution diverges from row-major")
+			}
+			for _, ct := range []int{1, 5} {
+				fg := grid.NewRect(rows, cols, k.DSize())
+				if err := ex.RunIrregular(context.Background(), k, fg, ct); err != nil {
+					t.Fatal(err)
+				}
+				if !ref.Equal(fg) {
+					t.Errorf("irregular execution (ct=%d) diverges from row-major", ct)
 				}
 			}
 
@@ -271,5 +296,55 @@ func TestCalibrateTSize(t *testing.T) {
 	// so only the ordering is asserted, with a comfortable margin.
 	if coarse < 2*fine {
 		t.Errorf("calibration ordering implausible: 200-iter=%g unit=%g", coarse, fine)
+	}
+}
+
+// TestMaskedAppsDeclareLiveCells: the daemon path (InstanceFor, no
+// kernel construction) must stamp the live-cell count for masked
+// workloads, fork their cache key from the dense spelling, and leave
+// dense apps untouched.
+func TestMaskedAppsDeclareLiveCells(t *testing.T) {
+	nus, _ := Lookup("nussinov")
+	inst, _, err := nus.InstanceFor(64, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 64 * 65 / 2; inst.LiveCells != want {
+		t.Errorf("nussinov LiveCells = %d, want %d", inst.LiveCells, want)
+	}
+	if !strings.Contains(inst.CacheKey(), "|live=") {
+		t.Errorf("nussinov cache key %q lacks the live-region component", inst.CacheKey())
+	}
+
+	mr, ok := Lookup("morphrecon")
+	if !ok {
+		t.Fatal("morphrecon not registered")
+	}
+	inst, rv, err := mr.InstanceFor(100, 80, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rv["threshold"] != kernels.MorphReconThreshold {
+		t.Errorf("resolved threshold = %v", rv["threshold"])
+	}
+	if inst.LiveCells != 4000 { // (256-128)/256 of 8000 cells
+		t.Errorf("morphrecon LiveCells = %d, want 4000", inst.LiveCells)
+	}
+	// Fully open mask: dense, no live component in the key.
+	inst, _, err = mr.InstanceFor(100, 80, Values{"threshold": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.LiveCells != 0 {
+		t.Errorf("threshold 0 LiveCells = %d, want 0 (dense)", inst.LiveCells)
+	}
+
+	lcs, _ := Lookup("lcs")
+	inst, _, err = lcs.InstanceFor(64, 64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.LiveCells != 0 {
+		t.Errorf("dense app LiveCells = %d, want 0", inst.LiveCells)
 	}
 }

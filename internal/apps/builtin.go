@@ -150,11 +150,43 @@ func init() {
 		Granularity: func(v Values) (float64, int, error) {
 			return kernels.NussinovTSize, 0, nil
 		},
+		LiveCells: func(rows, cols int, v Values) int {
+			// The triangle at or past the main anti-diagonal: cells with
+			// r+c >= n-1, which is n(n+1)/2 of the n x n grid.
+			return rows * (rows + 1) / 2
+		},
 		Kernel: func(rows, cols int, v Values) (kernels.Kernel, error) {
 			if rows != cols {
 				return nil, fmt.Errorf("nussinov folds an n-base sequence on an n x n grid, got %dx%d", rows, cols)
 			}
 			return kernels.NewNussinov(int(v["min_loop"])), nil
+		},
+	})
+
+	mustRegister(App{
+		Name:        "morphrecon",
+		Description: "grayscale morphological reconstruction over a synthetic mask (irregular live region)",
+		Recurrence:  "A = min(cap, max(marker, W-decay, N-decay, NW-decay))",
+		Ref:         "Teodoro et al. (irregular wavefront propagation); Vincent 1993",
+		Params: []ParamSpec{
+			{Name: "threshold", Description: "mask openness threshold in [0,255]; live fraction is (256-threshold)/256", Default: kernels.MorphReconThreshold, Integer: true, Min: 0, Max: 255},
+			{Name: "decay", Description: "per-step attenuation of a propagating marker value", Default: 1, Integer: true, Min: 0, Max: 1 << 20},
+			{Name: "seed", Description: "seed for the derived mask and marker fields", Default: 1, Integer: true, Min: 0, Max: 1 << 30},
+		},
+		Granularity: func(v Values) (float64, int, error) {
+			return kernels.MorphReconTSize, 0, nil
+		},
+		LiveCells: func(rows, cols int, v Values) int {
+			// The expected open-pixel count of the hash-derived mask; the
+			// exact count needs the kernel, which the daemon path must not
+			// build. The cost model only needs the density, and the cache
+			// key gains determinism: equal parameters give equal keys.
+			return int(math.Round(kernels.MorphReconLiveFraction(int(v["threshold"])) * float64(rows*cols)))
+		},
+		Kernel: func(rows, cols int, v Values) (kernels.Kernel, error) {
+			k := kernels.NewMorphRecon(int(v["threshold"]), int64(v["seed"]))
+			k.Decay = int64(v["decay"])
+			return k, nil
 		},
 	})
 }

@@ -129,6 +129,8 @@ func (e *Executor) RunDiagRange(k kernels.Kernel, g *grid.Grid, ct, lo, hi int) 
 }
 
 // runTileDiag executes all tiles with I+J == t in parallel and waits.
+// A tile-diagonal is the dense special case of a frontier work set: the
+// tiles are mutually independent, and runItems provides the barrier.
 func (e *Executor) runTileDiag(k kernels.Kernel, g *grid.Grid, ct, nTr, nTc, t, lo, hi int) error {
 	iMin := 0
 	if t-(nTc-1) > 0 {
@@ -138,21 +140,28 @@ func (e *Executor) runTileDiag(k kernels.Kernel, g *grid.Grid, ct, nTr, nTc, t, 
 	if iMax > nTr-1 {
 		iMax = nTr - 1
 	}
-	n := iMax - iMin + 1
+	return e.runItems(iMax-iMin+1, func(idx int) {
+		i := iMin + idx
+		computeTile(k, g, i*ct, (t-i)*ct, ct, lo, hi)
+	})
+}
+
+// runItems is the executor's work-set primitive, shared by the dense
+// tile-diagonal schedule and the frontier paths: it runs fn(0..n-1)
+// across the pool and blocks until all items complete (the inter-step
+// barrier). A single item — the wavefront ramp — runs inline to skip
+// the barrier cost.
+func (e *Executor) runItems(n int, fn func(i int)) error {
 	if n <= 0 {
 		return nil
 	}
 	if n == 1 || e.workers == 1 {
-		// A single tile (the wavefront ramp) runs inline: no barrier cost.
-		for i := iMin; i <= iMax; i++ {
-			computeTile(k, g, i*ct, (t-i)*ct, ct, lo, hi)
+		for i := 0; i < n; i++ {
+			fn(i)
 		}
 		return nil
 	}
-	return e.pl.run(n, func(idx int) {
-		i := iMin + idx
-		computeTile(k, g, i*ct, (t-i)*ct, ct, lo, hi)
-	})
+	return e.pl.run(n, fn)
 }
 
 // computeTile evaluates the cells of the tile with top-left corner

@@ -62,6 +62,13 @@ type Breakdown struct {
 	Kernels         int
 	Swaps           int
 	RedundantPoints int
+	// FrontierSteps is the number of barrier-separated wavefront steps
+	// of the executed schedule. The modeled three-phase run sweeps the
+	// anti-diagonal frontier, so it equals the diagonal count; consumers
+	// must use it (not grid.NumDiagsRect recomputed from the shape) for
+	// progress accounting, because irregular frontier executions report
+	// their own, generally smaller, step counts.
+	FrontierSteps int
 }
 
 // Result is the outcome of one modeled run.
@@ -100,7 +107,11 @@ func cpuPhaseNs(sys hw.System, inst plan.Instance, ct, lo, hi int) float64 {
 		return 0
 	}
 	rows, cols := inst.Shape()
-	per := sys.CPU.PointNs(inst.TSize, ct, inst.ElemBytes())
+	// Masked instances only pay for their live fraction of each
+	// tile-diagonal: dead cells are no-ops (skipped entirely on the
+	// frontier path), so charging the full rectangle would overestimate
+	// triangular and sparse workloads.
+	per := sys.CPU.PointNs(inst.TSize, ct, inst.ElemBytes()) * inst.LiveFrac()
 	total := 0.0
 	for _, td := range plan.CPUTileDiagsRect(rows, cols, ct, lo, hi) {
 		p := math.Min(float64(td.NTiles), sys.CPU.EffParallel)
@@ -117,7 +128,7 @@ func SerialNs(sys hw.System, inst plan.Instance) float64 {
 		ct = inst.MinSide()
 	}
 	per := sys.CPU.PointNs(inst.TSize, ct, inst.ElemBytes())
-	return float64(inst.Cells()) * per
+	return float64(inst.WorkCells()) * per
 }
 
 // MeasureNs returns the modeled runtime of actually executing a tuning
@@ -125,14 +136,25 @@ func SerialNs(sys hw.System, inst plan.Instance) float64 {
 // by the job executor: the optimized sequential baseline when serial is
 // set, otherwise the uncensored hybrid estimate of par.
 func MeasureNs(sys hw.System, inst plan.Instance, serial bool, par plan.Params) (float64, error) {
+	ns, _, err := MeasureStepsNs(sys, inst, serial, par)
+	return ns, err
+}
+
+// MeasureStepsNs is MeasureNs extended with the executed schedule's
+// wavefront step count: the modeled run's FrontierSteps for a hybrid
+// execution, and 1 for the serial baseline (a single uninterrupted
+// row-major sweep has no inter-step barriers). Progress and throughput
+// reporting must derive step totals from here rather than recomputing
+// NumDiags from the shape, which misstates irregular runs.
+func MeasureStepsNs(sys hw.System, inst plan.Instance, serial bool, par plan.Params) (float64, int, error) {
 	if serial {
-		return SerialNs(sys, inst), nil
+		return SerialNs(sys, inst), 1, nil
 	}
 	res, err := Estimate(sys, inst, par, Options{})
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	return res.RTimeNs, nil
+	return res.RTimeNs, res.FrontierSteps, nil
 }
 
 // gpuSchedule captures the device-side choreography of the GPU phase so
@@ -251,6 +273,18 @@ func buildGPUSchedule(pl *plan.Plan, functional bool, wantGPUs int) *gpuSchedule
 						spec.segs = append(spec.segs, diagSeg{d: d, rowLo: lo, rowHi: hi})
 					}
 				}
+				if lf := inst.LiveFrac(); lf < 1 && spec.points > 0 {
+					// Charge the launch for the live share of its covered
+					// cells. The functional segs still span every cell —
+					// masked kernels write their dead region's zeros, so
+					// the simulated matrix stays identical to a dense
+					// sweep — but timing reflects real work only.
+					scaled := int(math.Round(float64(spec.points) * lf))
+					if scaled < 1 {
+						scaled = 1
+					}
+					spec.points = scaled
+				}
 				if spec.points > 0 {
 					p.launches[dev] = append(p.launches[dev], spec)
 				}
@@ -308,6 +342,7 @@ func Estimate(sys hw.System, inst plan.Instance, par plan.Params, opts Options) 
 		return Result{}, err
 	}
 	res := Result{Plan: pl}
+	res.FrontierSteps = inst.NumDiags()
 	over := func() bool {
 		if opts.ThresholdNs > 0 && res.RTimeNs > opts.ThresholdNs {
 			res.RTimeNs = opts.ThresholdNs
@@ -417,6 +452,7 @@ func SimulateInst(sys hw.System, inst plan.Instance, k kernels.Kernel, par plan.
 		return Result{}, nil, err
 	}
 	res := Result{Plan: pl}
+	res.FrontierSteps = inst.NumDiags()
 	rows, cols := inst.Shape()
 	g := grid.NewRect(rows, cols, k.DSize())
 	p := simcl.NewPlatform(sys)
@@ -436,7 +472,9 @@ func SimulateInst(sys hw.System, inst plan.Instance, k kernels.Kernel, par plan.
 		res.Phase1Ns = dur
 		steps = append(steps, func(next func()) {
 			p.HostCompute(dur, func() {
-				cpuexec.RunSerialDiagRange(k, g, pl.P1Lo, pl.P1Hi)
+				// A dense diagonal frontier cannot dead-end, so the
+				// frontier run never errors here.
+				_ = cpuexec.RunSerialFrontier(k, g, grid.NewDiagRangeFrontier(rows, cols, pl.P1Lo, pl.P1Hi))
 				next()
 			})
 		})
@@ -524,7 +562,7 @@ func SimulateInst(sys hw.System, inst plan.Instance, k kernels.Kernel, par plan.
 		res.Phase3Ns = dur
 		steps = append(steps, func(next func()) {
 			p.HostCompute(dur, func() {
-				cpuexec.RunSerialDiagRange(k, g, pl.P3Lo, pl.P3Hi)
+				_ = cpuexec.RunSerialFrontier(k, g, grid.NewDiagRangeFrontier(rows, cols, pl.P3Lo, pl.P3Hi))
 				next()
 			})
 		})

@@ -170,6 +170,12 @@ type Result struct {
 	MeasuredNs float64
 	// SerialNs is the modeled sequential baseline, for speedup reporting.
 	SerialNs float64
+	// Steps is the number of barrier-separated wavefront steps of the
+	// executed schedule (engine.MeasureStepsNs): the diagonal count for
+	// a hybrid run, 1 for the barrier-free serial sweep. Progress
+	// reporting must use it instead of recomputing NumDiags from the
+	// shape, which misstates irregular executions. Zero means unknown.
+	Steps int
 	// Refine carries the online-refinement statistics for refine jobs
 	// (nil otherwise).
 	Refine *core.RefineStats

@@ -550,11 +550,12 @@ func (m *Manager) execute(rec *record) (*Result, error) {
 	sys := m.systems[spec.System]
 
 	if !spec.Refine {
-		ns, err := engine.MeasureNs(sys, spec.Inst, p.Serial, p.Par)
+		ns, steps, err := engine.MeasureStepsNs(sys, spec.Inst, p.Serial, p.Par)
 		if err != nil {
 			return nil, fmt.Errorf("executing: %w", err)
 		}
 		res.MeasuredNs = ns
+		res.Steps = steps
 		return res, nil
 	}
 
@@ -574,6 +575,13 @@ func (m *Manager) execute(rec *record) (*Result, error) {
 	res.Serial, res.Par = pred.Serial, pred.Par
 	res.MeasuredNs = st.FinalNs
 	res.Refine = &st
+	// Step accounting for the refined configuration; the measured time
+	// stays the refinement's own, only the schedule's step count is
+	// taken (a failure leaves Steps 0 = unknown rather than failing a
+	// job that already measured successfully).
+	if _, steps, serr := engine.MeasureStepsNs(sys, spec.Inst, pred.Serial, pred.Par); serr == nil {
+		res.Steps = steps
+	}
 
 	// Feedback: persist the measured configuration for retraining.
 	// Serial outcomes are skipped — the baseline is not a search point,

@@ -23,6 +23,15 @@ import (
 )
 
 // Kernel is a wavefront point computation.
+//
+// Kernels may additionally implement Stenciled to declare their
+// dependency stencil and Masked to declare a live region; the frontier
+// executors consult both through StencilOf and LiveOf. Kernels that
+// declare neither are scheduled with the dense west/north/northwest cone
+// over the full rectangle, which is always safe for kernels whose
+// dependencies lie on earlier anti-diagonals (the barrier between
+// frontier steps then covers even long-range reads like knapsack's
+// weight-shifted column).
 type Kernel interface {
 	// Name identifies the application.
 	Name() string
@@ -37,6 +46,45 @@ type Kernel interface {
 	// Compute evaluates cell (r, c) of g. Out-of-bounds neighbours must be
 	// treated as the application's boundary condition.
 	Compute(g *grid.Grid, r, c int)
+}
+
+// Stenciled is implemented by kernels that declare the exact dependency
+// stencil of their recurrence. The irregular frontier path uses it for
+// in-degree scheduling; kernels without it get grid.DenseStencil.
+type Stenciled interface {
+	// Stencil returns the relative offsets a cell reads.
+	Stencil() grid.Stencil
+}
+
+// Masked is implemented by kernels whose meaningful domain is a strict
+// subset of the rectangle (Nussinov's triangle, reconstruction on a
+// mask). Cells outside the live region must be no-ops in Compute (or
+// write only the grid's zero initial values), so dense executors that
+// still visit them produce matrices identical to frontier executors
+// that skip them.
+type Masked interface {
+	// Live reports whether cell (r, c) of a rows x cols grid belongs to
+	// the kernel's live region.
+	Live(rows, cols, r, c int) bool
+}
+
+// StencilOf returns k's declared dependency stencil, or the dense
+// west/north/northwest cone when k does not declare one.
+func StencilOf(k Kernel) grid.Stencil {
+	if s, ok := k.(Stenciled); ok {
+		return s.Stencil()
+	}
+	return grid.DenseStencil()
+}
+
+// LiveOf returns k's live-region predicate for a rows x cols grid, or
+// nil when the whole rectangle is live.
+func LiveOf(k Kernel, rows, cols int) func(r, c int) bool {
+	m, ok := k.(Masked)
+	if !ok {
+		return nil
+	}
+	return func(r, c int) bool { return m.Live(rows, cols, r, c) }
 }
 
 // Synthetic is the paper's training application: a regular kernel whose

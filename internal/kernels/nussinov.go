@@ -19,7 +19,9 @@ import "repro/internal/grid"
 // (the first half of the wavefront) is trivially zero, and the answer
 // for the whole sequence lands in the final cell (n-1, n-1). That
 // triangular live region makes Nussinov the first catalog workload
-// whose work is not uniform over the rectangle.
+// whose work is not uniform over the rectangle; it is declared to the
+// substrate through the Masked interface, so frontier executors skip
+// the dead half instead of special-casing it here.
 //
 // The full Nussinov recurrence adds a bifurcation term
 // max_k N(i,k)+N(k+1,j) that reads O(n) non-neighbour cells per point;
@@ -37,9 +39,11 @@ type Nussinov struct {
 }
 
 // NussinovTSize is the folding kernel's granularity on the synthetic
-// tsize scale. Averaged over the grid it is modest: half the cells are
-// outside the triangular live region and cost almost nothing.
-const NussinovTSize = 0.6
+// tsize scale, per cell of the triangular live region. The dead half of
+// the rectangle is declared through the Masked interface rather than
+// averaged into the granularity, so the frontier substrate can skip it
+// and the cost model can scale by the live fraction explicitly.
+const NussinovTSize = 1.2
 
 // NussinovMinLoop is the conventional minimum hairpin loop length.
 const NussinovMinLoop = 3
@@ -68,6 +72,18 @@ func (n *Nussinov) TSize() float64 { return NussinovTSize }
 
 // DSize implements Kernel.
 func (n *Nussinov) DSize() int { return 0 }
+
+// Stencil implements Stenciled: the folding recurrence reads exactly the
+// three wavefront neighbours.
+func (n *Nussinov) Stencil() grid.Stencil { return grid.DenseStencil() }
+
+// Live implements Masked: cell (r, c) carries interval [rows-1-r, c],
+// which is real only when rows-1-r <= c — the triangular half of the
+// grid at or past the main anti-diagonal. Frontier executors schedule
+// only this region; the guard in Compute keeps dense executors (which
+// still visit the dead half) writing the same zeros the frontier path
+// leaves untouched.
+func (n *Nussinov) Live(rows, cols, r, c int) bool { return r+c >= rows-1 }
 
 var rnaBases = [4]byte{'A', 'C', 'G', 'U'}
 

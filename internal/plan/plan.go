@@ -26,6 +26,13 @@ type Instance struct {
 	TSize float64
 	// DSize is the per-element float count (element bytes = 8 + 8*dsize).
 	DSize int
+	// LiveCells is the number of cells that carry real work when the
+	// workload's live region is a strict subset of the rectangle
+	// (Nussinov's triangle, a reconstruction mask). Zero means dense:
+	// every cell is live. The cost model scales per-cell work by the
+	// live fraction, so masked workloads are not charged for their dead
+	// cells.
+	LiveCells int
 }
 
 // Shape is the compatibility accessor between the square and rectangular
@@ -48,6 +55,26 @@ func (in Instance) Square() bool {
 func (in Instance) Cells() int {
 	rows, cols := in.Shape()
 	return rows * cols
+}
+
+// WorkCells returns the number of cells that carry real work: LiveCells
+// when the instance declares a masked region, and the full rectangle
+// otherwise.
+func (in Instance) WorkCells() int {
+	if in.LiveCells > 0 {
+		return in.LiveCells
+	}
+	return in.Cells()
+}
+
+// LiveFrac returns the fraction of the rectangle that carries real work,
+// in (0, 1]; dense instances return 1.
+func (in Instance) LiveFrac() float64 {
+	cells := in.Cells()
+	if in.LiveCells <= 0 || cells == 0 {
+		return 1
+	}
+	return float64(in.LiveCells) / float64(cells)
 }
 
 // NumDiags returns the number of anti-diagonals, rows+cols-1.
@@ -124,8 +151,15 @@ func (in Instance) ShapeString() string {
 // rendering, so keys are reproducible across processes.
 func (in Instance) CacheKey() string {
 	n := in.Normalize()
-	return fmt.Sprintf("%s|t=%s|d=%d",
+	key := fmt.Sprintf("%s|t=%s|d=%d",
 		n.ShapeString(), strconv.FormatFloat(n.TSize, 'g', -1, 64), n.DSize)
+	if n.LiveCells > 0 {
+		// Masked instances tune differently from dense ones of the same
+		// shape, so the live-cell count participates in the key. Dense
+		// instances keep the historical key unchanged.
+		key += fmt.Sprintf("|live=%d", n.LiveCells)
+	}
+	return key
 }
 
 // Validate reports whether the instance is well-formed.
@@ -143,17 +177,26 @@ func (in Instance) Validate() error {
 	if in.DSize < 0 {
 		return fmt.Errorf("plan: dsize %d < 0", in.DSize)
 	}
+	if in.LiveCells < 0 || in.LiveCells > rows*cols {
+		return fmt.Errorf("plan: live cells %d outside [0,%d]", in.LiveCells, rows*cols)
+	}
 	return nil
 }
 
 // String implements fmt.Stringer.
 func (in Instance) String() string {
+	s := ""
 	if rows, cols := in.Shape(); rows != cols {
-		return fmt.Sprintf("rows=%d cols=%d tsize=%g dsize=%d", rows, cols, in.TSize, in.DSize)
+		s = fmt.Sprintf("rows=%d cols=%d tsize=%g dsize=%d", rows, cols, in.TSize, in.DSize)
 	} else if in.Dim == 0 {
-		return fmt.Sprintf("dim=%d tsize=%g dsize=%d", rows, in.TSize, in.DSize)
+		s = fmt.Sprintf("dim=%d tsize=%g dsize=%d", rows, in.TSize, in.DSize)
+	} else {
+		s = fmt.Sprintf("dim=%d tsize=%g dsize=%d", in.Dim, in.TSize, in.DSize)
 	}
-	return fmt.Sprintf("dim=%d tsize=%g dsize=%d", in.Dim, in.TSize, in.DSize)
+	if in.LiveCells > 0 {
+		s += fmt.Sprintf(" live=%d", in.LiveCells)
+	}
+	return s
 }
 
 // Params is a setting of the paper's tunable parameters (Table 2). As in

@@ -304,3 +304,31 @@ func TestShapeStringAndCacheKey(t *testing.T) {
 		t.Errorf("distinct instances collide on %q", sq.CacheKey())
 	}
 }
+
+func TestInstanceLiveCells(t *testing.T) {
+	dense := Instance{Dim: 10, TSize: 1}
+	if dense.WorkCells() != 100 || dense.LiveFrac() != 1 {
+		t.Errorf("dense: WorkCells=%d LiveFrac=%g", dense.WorkCells(), dense.LiveFrac())
+	}
+	masked := Instance{Dim: 10, TSize: 1, LiveCells: 55}
+	if masked.WorkCells() != 55 || masked.LiveFrac() != 0.55 {
+		t.Errorf("masked: WorkCells=%d LiveFrac=%g", masked.WorkCells(), masked.LiveFrac())
+	}
+	if err := masked.Validate(); err != nil {
+		t.Errorf("masked instance invalid: %v", err)
+	}
+	if err := (Instance{Dim: 10, TSize: 1, LiveCells: 101}).Validate(); err == nil {
+		t.Error("live cells above the rectangle must be rejected")
+	}
+	if err := (Instance{Dim: 10, TSize: 1, LiveCells: -1}).Validate(); err == nil {
+		t.Error("negative live cells must be rejected")
+	}
+
+	// Dense instances keep the historical cache key; masked ones fork it.
+	if k := dense.CacheKey(); k != masked.CacheKey()[:len(k)] || masked.CacheKey() == k {
+		t.Errorf("cache keys: dense %q masked %q", k, masked.CacheKey())
+	}
+	if want := "10|t=1|d=0|live=55"; masked.CacheKey() != want {
+		t.Errorf("masked CacheKey = %q, want %q", masked.CacheKey(), want)
+	}
+}

@@ -250,3 +250,38 @@ func TestAppValidationFromRegistry(t *testing.T) {
 		})
 	}
 }
+
+// TestMaskedAppInstanceKeepsLiveCells guards the serving path of the
+// frontier refactor: resolving a masked application through the
+// registry must carry the live-cell count into the served instance, so
+// two mask densities of one shape fork into distinct plan-cache keys
+// instead of silently sharing a dense plan.
+func TestMaskedAppInstanceKeepsLiveCells(t *testing.T) {
+	dense, _, err := TuneRequest{Dim: 96, App: "morphrecon"}.instanceFrom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense.LiveCells == 0 {
+		t.Fatal("served morphrecon instance lost its live-cell count")
+	}
+	sparse, _, err := TuneRequest{
+		Dim: 96, App: "morphrecon", Params: map[string]float64{"threshold": 200},
+	}.instanceFrom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparse.LiveCells >= dense.LiveCells {
+		t.Errorf("threshold 200 live cells %d, want < default's %d", sparse.LiveCells, dense.LiveCells)
+	}
+	if dense.CacheKey() == sparse.CacheKey() {
+		t.Errorf("mask densities share cache key %q", dense.CacheKey())
+	}
+
+	tri, _, err := TuneRequest{Dim: 96, App: "nussinov"}.instanceFrom()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 96 * 97 / 2; tri.LiveCells != want {
+		t.Errorf("served nussinov LiveCells = %d, want %d", tri.LiveCells, want)
+	}
+}

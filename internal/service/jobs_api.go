@@ -67,6 +67,11 @@ type JobResult struct {
 	MeasuredSec  float64 `json:"measured_sec"`
 	SerialSec    float64 `json:"serial_sec"`
 	Speedup      float64 `json:"speedup,omitempty"`
+	// Steps is the number of wavefront steps of the executed schedule
+	// (0 = unknown); clients gauging progress or throughput must use it
+	// rather than deriving rows+cols-1 themselves, which misstates
+	// irregular executions.
+	Steps int `json:"steps,omitempty"`
 	// Refinement reports the online phase for refine jobs.
 	Refinement *JobRefinement `json:"refinement,omitempty"`
 }
@@ -110,6 +115,7 @@ func jobInfo(j jobs.Job) JobInfo {
 			PredictedSec: r.PredictedNs / 1e9,
 			MeasuredSec:  r.MeasuredNs / 1e9,
 			SerialSec:    r.SerialNs / 1e9,
+			Steps:        r.Steps,
 		}
 		if r.MeasuredNs > 0 {
 			jr.Speedup = r.SerialNs / r.MeasuredNs

@@ -422,7 +422,9 @@ func (r TuneRequest) instanceFrom() (plan.Instance, apps.Values, error) {
 		if err != nil {
 			return inst, nil, err
 		}
-		inst.TSize, inst.DSize = ai.TSize, ai.DSize
+		// LiveCells rides along: masked workloads must fork their plan
+		// cache key and cost model from the dense spelling of the shape.
+		inst.TSize, inst.DSize, inst.LiveCells = ai.TSize, ai.DSize, ai.LiveCells
 		resolved = rv
 	}
 	// Explicit top-level granularity overrides the app-derived values

@@ -1,0 +1,11 @@
+#!/bin/sh
+# bench_trajectory.sh runs the benchmark-trajectory harness: the key
+# serving and frontier-substrate benchmarks, recorded to
+# BENCH_<date>.json at the repository root and gated against the most
+# recent previous snapshot (>5% ns/op growth fails unless -warn-only).
+# Run from the repository root; arguments pass through to benchtraj
+# (see cmd/benchtraj). CI runs it with -warn-only because shared
+# runners are noisy; release benchmarking runs it bare on a quiet host.
+set -eu
+
+exec go run ./cmd/benchtraj "$@"

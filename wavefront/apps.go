@@ -105,3 +105,13 @@ func NewNussinov(minLoop int) *kernels.Nussinov { return kernels.NewNussinov(min
 func NewNussinovWith(seq []byte, minLoop int) *kernels.Nussinov {
 	return kernels.NewNussinovWith(seq, minLoop)
 }
+
+// NewMorphRecon returns the grayscale morphological-reconstruction
+// kernel over a synthetic mask: the catalog's genuinely irregular
+// workload, whose live region is the mask's open pixels (threshold in
+// [0,255]; negative selects the default of 128, about half open). It
+// declares its mask and stencil to the frontier substrate, so
+// RunIrregular schedules only the open pixels.
+func NewMorphRecon(threshold int, seed int64) *kernels.MorphRecon {
+	return kernels.NewMorphRecon(threshold, seed)
+}

@@ -1,0 +1,109 @@
+package wavefront
+
+// The frontier surface: the generalization of the execution substrate
+// from dense anti-diagonal sweeps to arbitrary ready-set propagation.
+// Dense wavefronts remain the closed-form special case (DiagFrontier);
+// masked and irregular workloads — Nussinov's triangle, morphological
+// reconstruction over a mask — run through IrregularFrontier's per-cell
+// in-degree scheduling. Kernels opt in by implementing KernelStencil
+// and KernelMask; undeclared kernels default to the dense W/N/NW cone
+// over the full rectangle.
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/cpuexec"
+	"repro/internal/grid"
+	"repro/internal/kernels"
+)
+
+// Frontier iterates over the ready cell sets of a wavefront
+// computation; see grid.Frontier for the contract.
+type Frontier = grid.Frontier
+
+// Cell identifies one grid cell by row and column.
+type Cell = grid.Cell
+
+// Stencil is the dependency shape of a kernel: the relative offsets a
+// cell reads.
+type Stencil = grid.Stencil
+
+// StencilOffset is one relative dependency of a Stencil.
+type StencilOffset = grid.Offset
+
+// DiagFrontier is the dense frontier over closed-form anti-diagonals.
+type DiagFrontier = grid.DiagFrontier
+
+// IrregularFrontier schedules an arbitrary live region by per-cell
+// in-degree counting.
+type IrregularFrontier = grid.IrregularFrontier
+
+// KernelStencil is implemented by kernels that declare a dependency
+// stencil other than the dense W/N/NW cone.
+type KernelStencil = kernels.Stenciled
+
+// KernelMask is implemented by kernels whose live region is a strict
+// subset of the rectangle; dead cells are skipped by the frontier
+// executors and must be no-ops (or write only zero initial values) in
+// Compute.
+type KernelMask = kernels.Masked
+
+// ErrFrontierStuck is returned when a frontier dead-ends before
+// covering its region (a cyclic or self-referential stencil).
+var ErrFrontierStuck = cpuexec.ErrFrontierStuck
+
+// DenseStencil returns the classic west/north/northwest dependency
+// cone.
+func DenseStencil() Stencil { return grid.DenseStencil() }
+
+// NewDiagFrontier returns the dense frontier covering a rows x cols
+// grid in anti-diagonal order.
+func NewDiagFrontier(rows, cols int) *DiagFrontier {
+	return grid.NewDiagFrontier(rows, cols)
+}
+
+// NewIrregularFrontier builds the frontier over the cells for which
+// live returns true (nil = the whole rectangle) under the given stencil
+// (empty = dense).
+func NewIrregularFrontier(rows, cols int, st Stencil, live func(r, c int) bool) *IrregularFrontier {
+	return grid.NewIrregularFrontier(rows, cols, st, live)
+}
+
+// KernelFrontier builds the irregular frontier for the stencil and live
+// region kernel k declares — the frontier RunIrregular schedules.
+func KernelFrontier(k Kernel, rows, cols int) *IrregularFrontier {
+	return grid.NewIrregularFrontier(rows, cols, kernels.StencilOf(k), kernels.LiveOf(k, rows, cols))
+}
+
+// CountFrontier drains f and returns its true step and cell counts —
+// the step total progress reporting must use for irregular regions,
+// where NumDiags overstates the denominator. The frontier is consumed.
+func CountFrontier(f Frontier) (steps, cells int) { return grid.CountFrontier(f) }
+
+// RunFrontier computes the cells of f with k on the host CPU (workers
+// goroutines; <= 0 selects GOMAXPROCS), one ready set at a time with a
+// barrier between steps, and returns the wall-clock time. ctx is
+// checked between steps for cooperative cancellation. It fails with
+// ErrFrontierStuck when f dead-ends before covering its region.
+func RunFrontier(ctx context.Context, k Kernel, g *Grid, f Frontier, workers int) (time.Duration, error) {
+	start := time.Now()
+	ex := cpuexec.New(workers)
+	defer ex.Close()
+	err := ex.RunFrontier(ctx, k, g, f)
+	return time.Since(start), err
+}
+
+// RunIrregular computes the live region kernel k declares (dense over
+// the full rectangle when it declares none) by frontier propagation on
+// the host CPU, and returns the wall-clock time. cpuTile > 1 schedules
+// tiles of that side through per-tile in-degree counting, the irregular
+// generalization of the tile-diagonal wavefront; cpuTile <= 1 schedules
+// individual cells.
+func RunIrregular(ctx context.Context, k Kernel, g *Grid, cpuTile, workers int) (time.Duration, error) {
+	start := time.Now()
+	ex := cpuexec.New(workers)
+	defer ex.Close()
+	err := ex.RunIrregular(ctx, k, g, cpuTile)
+	return time.Since(start), err
+}
