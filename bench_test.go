@@ -563,6 +563,61 @@ func BenchmarkJobThroughput(b *testing.B) {
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
 }
 
+// BenchmarkPipelineThroughput measures end-to-end submit→complete
+// wave-DAG pipeline operations per second: each pipeline is two
+// sequential waves of two parallel jobs, so the figure prices the wave
+// barrier and driver overhead on top of raw job throughput.
+func BenchmarkPipelineThroughput(b *testing.B) {
+	cache := tunecache.New(0, func(system string, in plan.Instance) (tunecache.Plan, error) {
+		return tunecache.Plan{
+			Par:     plan.Params{CPUTile: 8, Band: -1, GPUTile: 1, Halo: -1},
+			RTimeNs: 1e6, SerialNs: 2e6,
+		}, nil
+	})
+	m, err := jobs.New(jobs.Config{
+		Workers:      4,
+		QueueDepth:   1 << 16,
+		MaxRecords:   1 << 16,
+		MaxPipelines: 1 << 10,
+		Plans:        cache.Get,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Shutdown(context.Background())
+	job := func(dim int) jobs.PipelineJob {
+		return jobs.PipelineJob{Spec: jobs.Spec{
+			System: "i7-2600K",
+			Inst:   plan.Instance{Dim: dim, TSize: 100, DSize: 1},
+		}}
+	}
+	spec := jobs.PipelineSpec{Waves: []jobs.WaveSpec{
+		{Jobs: []jobs.PipelineJob{job(256), job(256)}},
+		{Jobs: []jobs.PipelineJob{job(256), job(256)}},
+	}}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			p, err := m.SubmitPipeline(spec)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			done, err := m.AwaitPipeline(context.Background(), p.ID)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if done.State != jobs.PipeSucceeded {
+				b.Errorf("pipeline %s = %v (%s)", p.ID, done.State, done.Err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "pipelines/s")
+}
+
 func BenchmarkM5Fit(b *testing.B) {
 	d := ml.NewDataset("x", "y")
 	for i := 0; i < 500; i++ {

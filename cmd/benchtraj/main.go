@@ -36,9 +36,9 @@ import (
 )
 
 // defaultBench selects the trajectory set: the serving hot paths
-// (plan-cache hits, batch tuning, job throughput) and the frontier
-// substrate including its dense-parity pairs.
-const defaultBench = "Frontier|PlanCacheHit|TuneBatch|JobThroughput"
+// (plan-cache hits, batch tuning, job and pipeline throughput) and the
+// frontier substrate including its dense-parity pairs.
+const defaultBench = "Frontier|PlanCacheHit|TuneBatch|JobThroughput|PipelineThroughput"
 
 // Snapshot is the schema of one BENCH_<date>.json file.
 type Snapshot struct {

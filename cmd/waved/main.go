@@ -10,25 +10,34 @@
 // cached prediction and append the measured outcome to the -train-log
 // directory (per-system search-CSV files for wavetrain -from).
 //
+// Jobs can be chained into wave-DAG pipelines (POST /v1/pipelines):
+// ordered waves of jobs where a wave's jobs run in parallel and wave
+// N+1 starts only after wave N resolves, with per-wave failure policy
+// (abort / continue / retry-budget).
+//
 // Usage:
 //
 //	waved [-addr :8080] [-systems i7-2600K,i3-540] [-tuners dir]
 //	      [-cache 512] [-cache-shards 0] [-cache-file plans.json] [-full]
 //	      [-batch-limit 64] [-workers 4] [-queue-depth 64]
-//	      [-refine-budget 12] [-train-log dir]
+//	      [-refine-budget 12] [-train-log dir] [-max-pipelines 16]
 //
 // Endpoints:
 //
-//	POST   /v1/tune       {"system":"i7-2600K","dim":1900,"app":"nash","params":{"rounds":2}}
-//	POST   /v1/tune/batch {"system":"i7-2600K","items":[{"dim":1900,"app":"nash"},...]}
-//	POST   /v1/jobs       {"system":"i7-2600K","dim":1900,"app":"nash","refine":true}
-//	GET    /v1/jobs       job records (filter: ?state=queued&system=i7-2600K)
-//	GET    /v1/jobs/{id}  poll one job
-//	DELETE /v1/jobs/{id}  cancel a queued or running job
-//	GET    /v1/apps       application catalog (names, tsize/dsize, parameter schemas)
-//	GET    /v1/systems    served systems and tuner states
-//	GET    /v1/stats      cache, job and request counters
-//	GET    /healthz       liveness probe
+//	POST   /v1/tune            {"system":"i7-2600K","dim":1900,"app":"nash","params":{"rounds":2}}
+//	POST   /v1/tune/batch      {"system":"i7-2600K","items":[{"dim":1900,"app":"nash"},...]}
+//	POST   /v1/jobs            {"system":"i7-2600K","dim":1900,"app":"nash","refine":true}
+//	GET    /v1/jobs            job records (filter: ?state=queued&system=i7-2600K)
+//	GET    /v1/jobs/{id}       poll one job
+//	DELETE /v1/jobs/{id}       cancel a queued or running job
+//	POST   /v1/pipelines       {"system":"i7-2600K","waves":[{"jobs":[...]},{"after":["wave-0"],"jobs":[...]}]}
+//	GET    /v1/pipelines       pipeline records (filter: ?state=wave-running)
+//	GET    /v1/pipelines/{id}  poll one pipeline (per-wave states, job IDs)
+//	DELETE /v1/pipelines/{id}  cancel a pipeline; DELETE /v1/pipelines prunes finished records
+//	GET    /v1/apps            application catalog (names, tsize/dsize, parameter schemas)
+//	GET    /v1/systems         served systems and tuner states
+//	GET    /v1/stats           cache, job, pipeline and request counters
+//	GET    /healthz            liveness probe
 //
 // Named applications come from the registry (internal/apps, public
 // wavefront.RegisterApp); GET /v1/apps lists everything this daemon
@@ -85,6 +94,7 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 0, "job queue bound; overflow answers 429 (0 = default)")
 	refineBudget := flag.Int("refine-budget", 0, "probe budget per refine job (0 = default)")
 	trainLog := flag.String("train-log", "", "directory for refined jobs' measured observations (per-system CSVs for wavetrain -from)")
+	maxPipelines := flag.Int("max-pipelines", 0, "max concurrently active pipelines; overflow answers 429 (0 = default)")
 	flag.Parse()
 
 	cfg := wavefront.TuningConfig{
@@ -97,6 +107,7 @@ func main() {
 			QueueDepth:     *queueDepth,
 			RefineBudget:   *refineBudget,
 			TrainingLogDir: *trainLog,
+			MaxPipelines:   *maxPipelines,
 		},
 		Logf: log.Printf,
 	}

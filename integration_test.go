@@ -9,8 +9,14 @@ package repro
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cpuexec"
@@ -19,6 +25,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/kernels"
 	"repro/internal/plan"
+	"repro/internal/service"
 )
 
 func TestFactoryWorkflowEndToEnd(t *testing.T) {
@@ -134,5 +141,141 @@ func TestAllSystemsProduceConsistentPipelines(t *testing.T) {
 		if !g.Equal(want) {
 			t.Errorf("%s: functional mismatch", sys.Name)
 		}
+	}
+}
+
+// TestPipelineOverHTTP drives a wave-DAG pipeline end to end through
+// the daemon's HTTP surface: an align wave fanning out across three
+// catalog applications, then a fold wave admitted only after the
+// barrier. It asserts the job records' timestamps respect the barrier
+// and that /v1/stats accounts for the pipeline.
+func TestPipelineOverHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test skipped in -short")
+	}
+	sys := hw.I7_2600K()
+	sr, err := core.Exhaustive(sys, core.QuickSpace(), core.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, err := core.Train(sr, core.DefaultTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := service.New(service.Config{
+		Systems: []hw.System{sys},
+		Tuners:  service.NewStaticSource(tuner),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	body := `{
+		"name": "align-then-fold",
+		"system": "i7-2600K",
+		"waves": [
+			{"name": "align", "jobs": [
+				{"name": "sw",  "app": "swaffine", "dim": 200},
+				{"name": "lcs", "app": "lcs",      "dim": 200},
+				{"name": "dtw", "app": "dtw",      "dim": 200}
+			]},
+			{"name": "fold", "after": ["align"], "policy": "continue", "jobs": [
+				{"name": "rna", "app": "nussinov", "dim": 96}
+			]}
+		]
+	}`
+	resp, err := http.Post(ts.URL+"/v1/pipelines", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		t.Fatalf("submit status = %d: %s", resp.StatusCode, b)
+	}
+	var pi service.PipelineInfo
+	if err := json.NewDecoder(resp.Body).Decode(&pi); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	getJSON := func(path string, out any) int {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		if r.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(r.Body).Decode(out); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			io.Copy(io.Discard, r.Body)
+		}
+		return r.StatusCode
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		if code := getJSON("/v1/pipelines/"+pi.ID, &pi); code != http.StatusOK {
+			t.Fatalf("polling pipeline: status %d", code)
+		}
+		if pi.State == "succeeded" || pi.State == "failed" || pi.State == "canceled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pipeline stuck in %s", pi.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if pi.State != "succeeded" {
+		t.Fatalf("pipeline = %s (err %q), want succeeded", pi.State, pi.Error)
+	}
+
+	// Every wave job is an ordinary record; the fold job must not have
+	// started before the slowest align job finished (Go timestamps are
+	// monotonic, so this is a sound ordering check).
+	var alignDone time.Time
+	for _, id := range pi.Waves[0].JobIDs {
+		var ji service.JobInfo
+		if code := getJSON("/v1/jobs/"+id, &ji); code != http.StatusOK {
+			t.Fatalf("align job %s: status %d", id, code)
+		}
+		if ji.State != "succeeded" || ji.Result == nil {
+			t.Fatalf("align job %s = %s (err %q)", id, ji.State, ji.Error)
+		}
+		if ji.FinishedAt != nil && ji.FinishedAt.After(alignDone) {
+			alignDone = *ji.FinishedAt
+		}
+	}
+	for _, id := range pi.Waves[1].JobIDs {
+		var ji service.JobInfo
+		if code := getJSON("/v1/jobs/"+id, &ji); code != http.StatusOK {
+			t.Fatalf("fold job %s: status %d", id, code)
+		}
+		if ji.State != "succeeded" {
+			t.Fatalf("fold job %s = %s (err %q)", id, ji.State, ji.Error)
+		}
+		if ji.StartedAt == nil || ji.StartedAt.Before(alignDone) {
+			t.Errorf("fold job %s started %v, before the align barrier at %v",
+				id, ji.StartedAt, alignDone)
+		}
+	}
+
+	var stats service.StatsResponse
+	if code := getJSON("/v1/stats", &stats); code != http.StatusOK {
+		t.Fatalf("stats status %d", code)
+	}
+	if stats.Pipelines.Submitted != 1 || stats.Pipelines.Succeeded != 1 ||
+		stats.Pipelines.WavesResolved != 2 || stats.Pipelines.Active != 0 {
+		t.Errorf("pipeline stats = %+v", stats.Pipelines)
+	}
+	if stats.Jobs.Succeeded != 4 {
+		t.Errorf("job stats = %+v, want the 4 wave jobs", stats.Jobs)
+	}
+	if stats.Requests["pipelines"] == 0 {
+		t.Errorf("request counters = %+v", stats.Requests)
 	}
 }

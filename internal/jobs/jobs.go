@@ -16,6 +16,14 @@
 // supports cooperative cancellation of queued and running jobs, rejects
 // submissions beyond the queue bound (admission control), and drains
 // gracefully on shutdown.
+//
+// Beyond independent jobs, the manager runs wave-DAG pipelines
+// (SubmitPipeline): job specs grouped into ordered waves, where jobs
+// within a wave run in parallel through the same worker pool and wave
+// N+1 is admitted only after wave N resolves at a sequential barrier,
+// under a per-wave failure policy (abort / continue / retry-budget).
+// The pipeline lifecycle is the explicit state machine of
+// PipelineTransition, with per-wave and per-job records.
 package jobs
 
 import (
@@ -265,15 +273,21 @@ type Config struct {
 	TrainingLog *core.ObservationLog
 	// MaxRecords bounds retained finished job records; the oldest
 	// finished records are pruned beyond it (<= 0 selects
-	// DefaultMaxRecords).
+	// DefaultMaxRecords). The same bound retains finished pipeline
+	// records.
 	MaxRecords int
+	// MaxPipelines bounds concurrently active (non-terminal) pipelines;
+	// submissions beyond it are rejected with ErrQueueFull (<= 0
+	// selects DefaultMaxPipelines).
+	MaxPipelines int
 	// Logf receives job lifecycle log lines; nil disables logging.
 	Logf func(format string, args ...any)
 }
 
 // Defaults for the Config bounds.
 const (
-	DefaultWorkers    = 4
-	DefaultQueueDepth = 64
-	DefaultMaxRecords = 1024
+	DefaultWorkers      = 4
+	DefaultQueueDepth   = 64
+	DefaultMaxRecords   = 1024
+	DefaultMaxPipelines = 16
 )

@@ -66,15 +66,23 @@ func (r *record) snapshot() Job {
 	return j
 }
 
-// Manager owns the queue, the worker pool and the job records.
+// Manager owns the queue, the worker pool, the job records and the
+// pipeline records.
 type Manager struct {
 	cfg     Config
 	systems map[string]hw.System
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queues  [numPriorities][]*record
-	records map[string]*record
+	mu   sync.Mutex
+	cond *sync.Cond
+	// spaceCond signals queue slots opening up (a worker popped a job, a
+	// queued job was canceled, or the manager aborted); pipeline drivers
+	// wait on it to admit a wave into a momentarily full queue. It is a
+	// separate condition from cond because the two waiter populations
+	// have opposite predicates — waking a driver with a worker's Signal
+	// (or vice versa) could strand the intended waiter.
+	spaceCond *sync.Cond
+	queues    [numPriorities][]*record
+	records   map[string]*record
 	// finished holds terminal records in completion order for pruning.
 	finished []*record
 	seq      int
@@ -89,7 +97,19 @@ type Manager struct {
 	// admission-control rejections. Zero until the first job finishes.
 	avgServiceNs float64
 
+	// Pipeline state: records by ID, terminal records in completion
+	// order for pruning, and the live count that keeps workers alive
+	// through a graceful drain (a pipeline between waves has an empty
+	// queue but more work coming).
+	pipes        map[string]*pipelineRecord
+	pipeFinished []*pipelineRecord
+	pipeSeq      int
+	activePipes  int
+	pstats       PipelineStats
+
 	wg sync.WaitGroup
+	// pwg tracks pipeline driver goroutines; Shutdown waits for both.
+	pwg sync.WaitGroup
 }
 
 // New validates cfg and returns the manager; the worker pool starts
@@ -110,10 +130,14 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.MaxRecords <= 0 {
 		cfg.MaxRecords = DefaultMaxRecords
 	}
+	if cfg.MaxPipelines <= 0 {
+		cfg.MaxPipelines = DefaultMaxPipelines
+	}
 	m := &Manager{
 		cfg:     cfg,
 		systems: make(map[string]hw.System, len(cfg.Systems)),
 		records: make(map[string]*record),
+		pipes:   make(map[string]*pipelineRecord),
 	}
 	for _, sys := range cfg.Systems {
 		if sys.Name == "" {
@@ -125,6 +149,7 @@ func New(cfg Config) (*Manager, error) {
 		m.systems[sys.Name] = sys
 	}
 	m.cond = sync.NewCond(&m.mu)
+	m.spaceCond = sync.NewCond(&m.mu)
 	return m, nil
 }
 
@@ -266,7 +291,24 @@ func (m *Manager) Cancel(id string) (Job, error) {
 		m.mu.Unlock()
 		return Job{}, ErrNotFound
 	}
-	var msg string
+	if rec.state.Finished() {
+		snap := rec.snapshot()
+		m.mu.Unlock()
+		return snap, ErrFinished
+	}
+	msg := m.cancelRecordLocked(rec)
+	snap := rec.snapshot()
+	m.mu.Unlock()
+	m.logf("job %s %s", rec.id, msg)
+	return snap, nil
+}
+
+// cancelRecordLocked cancels a non-terminal job record: a queued job is
+// removed from the queue and finishes canceled immediately (freeing its
+// queue slot); a running job has its context canceled and finishes once
+// the worker observes it. Caller holds m.mu and has checked the record
+// is not finished.
+func (m *Manager) cancelRecordLocked(rec *record) string {
 	switch rec.state {
 	case StateQueued:
 		q := m.queues[rec.spec.Priority]
@@ -277,22 +319,16 @@ func (m *Manager) Cancel(id string) (Job, error) {
 			}
 		}
 		m.queuedN--
+		m.spaceCond.Broadcast()
 		rec.cancelRequested = true
 		m.finishLocked(rec, StateCanceled, nil, "")
-		msg = "canceled while queued"
+		return "canceled while queued"
 	case StateRunning:
 		rec.cancelRequested = true
 		rec.cancel()
-		msg = "cancellation requested"
-	default:
-		snap := rec.snapshot()
-		m.mu.Unlock()
-		return snap, ErrFinished
+		return "cancellation requested"
 	}
-	snap := rec.snapshot()
-	m.mu.Unlock()
-	m.logf("job %s %s", rec.id, msg)
-	return snap, nil
+	return ""
 }
 
 // Stats returns a snapshot of the counters.
@@ -403,10 +439,13 @@ func (m *Manager) finishLocked(rec *record, state State, res *Result, errMsg str
 const abortGrace = 2 * time.Second
 
 // Shutdown stops admission and drains: workers finish their running
-// jobs and keep working the queue until it is empty. If ctx expires
-// first, remaining queued jobs are canceled, running jobs' contexts are
-// canceled (they finish canceled at their next cancellation point), and
-// ctx's error is returned once the workers exit or an abortGrace period
+// jobs and keep working the queue until it is empty, and active
+// pipelines keep admitting their remaining waves until they complete
+// (the worker pool stays up for them). If ctx expires first, remaining
+// queued jobs are canceled, running jobs' contexts are canceled (they
+// finish canceled at their next cancellation point), active pipelines
+// are canceled (their unstarted waves are skipped), and ctx's error is
+// returned once the workers and drivers exit or an abortGrace period
 // passes — a worker blocked in a non-cancelable call then finishes (and
 // records its job's outcome) in the background.
 func (m *Manager) Shutdown(ctx context.Context) error {
@@ -417,6 +456,7 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 
 	done := make(chan struct{})
 	go func() {
+		m.pwg.Wait()
 		m.wg.Wait()
 		close(done)
 	}()
@@ -442,7 +482,15 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 			rec.cancel()
 		}
 	}
+	// Pipelines observe the abort at their next barrier (or wave
+	// submission); their running wave's jobs were just canceled above.
+	for _, p := range m.pipes {
+		if !p.state.Finished() {
+			p.cancelRequested = true
+		}
+	}
 	m.cond.Broadcast()
+	m.spaceCond.Broadcast()
 	m.mu.Unlock()
 	select {
 	case <-done:
@@ -479,13 +527,18 @@ func (m *Manager) next() *record {
 				rec := q[0]
 				m.queues[pri] = q[1:]
 				m.queuedN--
+				m.spaceCond.Broadcast()
 				rec.state = StateRunning
 				rec.started = time.Now()
 				m.running++
 				return rec
 			}
 		}
-		if m.closed {
+		// A graceful drain must outlive pipelines between waves: their
+		// queue is momentarily empty, but the driver is about to admit
+		// the next wave, so workers only retire once no pipeline is
+		// active (pipeline completion broadcasts cond).
+		if m.closed && m.activePipes == 0 {
 			return nil
 		}
 		m.cond.Wait()

@@ -1,0 +1,276 @@
+package jobs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestPipelineValidation is the table of every rejection reason:
+// malformed specs must answer an error naming the defect — never panic,
+// never reach the queue.
+func TestPipelineValidation(t *testing.T) {
+	m := newManager(t, Config{QueueDepth: 4})
+	ok := pipeJob(100)
+
+	wide := WaveSpec{} // wider than the queue depth
+	for i := 0; i < 5; i++ {
+		wide.Jobs = append(wide.Jobs, pipeJob(100+i))
+	}
+	var long []WaveSpec // more waves than MaxPipelineWaves
+	for i := 0; i <= MaxPipelineWaves; i++ {
+		long = append(long, wave(pipeJob(100)))
+	}
+
+	cases := []struct {
+		name string
+		spec PipelineSpec
+		want string
+	}{
+		{"no waves", PipelineSpec{}, "at least one wave"},
+		{"too many waves", PipelineSpec{Waves: long}, "the limit is"},
+		{"empty wave", PipelineSpec{Waves: []WaveSpec{{Name: "w"}}}, "has no jobs"},
+		{"oversized wave", PipelineSpec{Waves: []WaveSpec{wide}}, "queue depth"},
+		{"duplicate wave names", PipelineSpec{Waves: []WaveSpec{
+			{Name: "w", Jobs: []PipelineJob{ok}},
+			{Name: "w", Jobs: []PipelineJob{pipeJob(200)}},
+		}}, "duplicate wave name"},
+		{"self dependency", PipelineSpec{Waves: []WaveSpec{
+			{Name: "w", After: []string{"w"}, Jobs: []PipelineJob{ok}},
+		}}, "cycle or unknown"},
+		{"forward dependency", PipelineSpec{Waves: []WaveSpec{
+			{Name: "a", After: []string{"b"}, Jobs: []PipelineJob{ok}},
+			{Name: "b", Jobs: []PipelineJob{pipeJob(200)}},
+		}}, "cycle or unknown"},
+		{"unknown dependency", PipelineSpec{Waves: []WaveSpec{
+			{Name: "a", Jobs: []PipelineJob{ok}},
+			{Name: "b", After: []string{"ghost"}, Jobs: []PipelineJob{pipeJob(200)}},
+		}}, "cycle or unknown"},
+		{"duplicate job names", PipelineSpec{Waves: []WaveSpec{
+			{Jobs: []PipelineJob{{Name: "j", Spec: ok.Spec}}},
+			{Jobs: []PipelineJob{{Name: "j", Spec: pipeJob(200).Spec}}},
+		}}, "duplicate job name"},
+		{"invalid policy", PipelineSpec{Waves: []WaveSpec{
+			{Policy: FailurePolicy(9), Jobs: []PipelineJob{ok}},
+		}}, "invalid failure policy"},
+		{"negative retry budget", PipelineSpec{Waves: []WaveSpec{
+			{Policy: PolicyRetry, RetryBudget: -1, Jobs: []PipelineJob{ok}},
+		}}, "negative retry budget"},
+		{"retry without budget", PipelineSpec{Waves: []WaveSpec{
+			{Policy: PolicyRetry, Jobs: []PipelineJob{ok}},
+		}}, "positive retry budget"},
+		{"budget without retry", PipelineSpec{Waves: []WaveSpec{
+			{Policy: PolicyContinue, RetryBudget: 2, Jobs: []PipelineJob{ok}},
+		}}, "requires the retry policy"},
+		{"unknown system", PipelineSpec{Waves: []WaveSpec{
+			wave(PipelineJob{Spec: Spec{System: "riscv", Inst: testInst(100)}}),
+		}}, "unknown system"},
+		{"invalid instance", PipelineSpec{Waves: []WaveSpec{
+			wave(PipelineJob{Spec: Spec{System: "i7-2600K"}}),
+		}}, ""},
+		{"invalid priority", PipelineSpec{Waves: []WaveSpec{
+			wave(PipelineJob{Spec: Spec{System: "i7-2600K", Inst: testInst(100), Priority: 99}}),
+		}}, "invalid priority"},
+		{"refine without tuner source", PipelineSpec{Waves: []WaveSpec{
+			wave(PipelineJob{Spec: Spec{System: "i7-2600K", Inst: testInst(100), Refine: true}}),
+		}}, "refinement not configured"},
+	}
+	for _, tc := range cases {
+		_, err := m.SubmitPipeline(tc.spec)
+		if err == nil {
+			t.Errorf("%s: spec accepted", tc.name)
+			continue
+		}
+		if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	// Nothing above may have touched the queue or the counters, and the
+	// manager must still work.
+	if ps := m.PipelineStats(); ps.Submitted != 0 || ps.Active != 0 {
+		t.Errorf("rejected specs leaked into the stats: %+v", ps)
+	}
+	if st := m.Stats(); st.Submitted != 0 {
+		t.Errorf("rejected specs leaked jobs into the queue: %+v", st)
+	}
+	snap, err := m.SubmitPipeline(PipelineSpec{Waves: []WaveSpec{wave(pipeJob(100))}})
+	if err != nil {
+		t.Fatalf("well-formed spec after rejections: %v", err)
+	}
+	if p := awaitPipe(t, m, snap.ID); p.State != PipeSucceeded {
+		t.Errorf("pipeline after rejections = %v, want succeeded", p.State)
+	}
+}
+
+// fuzzSpecFromBytes deterministically decodes arbitrary fuzz input into
+// a PipelineSpec, deliberately covering the malformed corners: bogus
+// names, dependencies, policies, budgets, systems, dims and priorities.
+func fuzzSpecFromBytes(data []byte) PipelineSpec {
+	next := func() byte {
+		if len(data) == 0 {
+			return 0
+		}
+		b := data[0]
+		data = data[1:]
+		return b
+	}
+	// Mostly-valid choices with deliberate malformed corners, so both
+	// acceptance and every rejection branch stay reachable.
+	waveNames := []string{"", "a", "b", "c", "d", "e", "f", "a"} // trailing duplicate
+	jobNames := []string{"", "", "", "j1", "j2", "j3", "j4", "j1"}
+	systems := []string{"i7-2600K", "i7-2600K", "i7-2600K", "i7-2600K",
+		"i7-2600K", "i7-2600K", "riscv", ""}
+	deps := []string{"wave-0", "a", "ghost", "z"}
+	// (policy, budget) pairs: legal combinations dominate, every
+	// illegal pairing represented.
+	policies := []FailurePolicy{PolicyAbort, PolicyAbort, PolicyContinue,
+		PolicyRetry, PolicyRetry, PolicyAbort, PolicyRetry, FailurePolicy(9)}
+	budgets := []int{0, 0, 0, 1, 2, 3 /* abort w/ budget */, 0 /* retry w/o */, 0}
+
+	var spec PipelineSpec
+	nWaves := int(next() % 5) // 0 waves is a valid malformation
+	for wi := 0; wi < nWaves; wi++ {
+		pick := next() % 8
+		w := WaveSpec{
+			Name:        waveNames[next()%8],
+			Policy:      policies[pick],
+			RetryBudget: budgets[pick],
+		}
+		// Every malformation gate fires on a non-zero residue, so inputs
+		// shorter than the spec they describe decode to valid defaults
+		// instead of tripping every corner at once.
+		if next()%4 == 1 {
+			w.After = append(w.After, deps[next()%4])
+		}
+		nJobs := 1 + int(next()%3)
+		if next()%8 == 7 {
+			nJobs = 0 // empty wave corner
+		}
+		for ji := 0; ji < nJobs; ji++ {
+			dim := 64 + int(next())*4
+			if next()%8 == 7 {
+				dim = int(next()) - 128 // zero/negative dim corner
+			}
+			pri := Priority(next() % 3)
+			if next()%8 == 7 {
+				pri = Priority(int(next()) - 128) // invalid priority corner
+			}
+			w.Jobs = append(w.Jobs, PipelineJob{
+				Name: jobNames[next()%8],
+				Spec: Spec{
+					System:   systems[next()%8],
+					Inst:     testInst(dim),
+					Priority: pri,
+					Refine:   next()%8 == 7,
+				},
+			})
+		}
+		spec.Waves = append(spec.Waves, w)
+	}
+	return spec
+}
+
+// FuzzPipelineValidate throws arbitrary byte-derived specs at
+// validation: it must never panic, and whatever it accepts must come
+// back fully normalized (non-empty unique names, clean policy/budget
+// pairs, earlier-wave dependencies only).
+func FuzzPipelineValidate(f *testing.F) {
+	m, err := New(Config{QueueDepth: 8, Plans: fixedPlan})
+	if err != nil {
+		f.Fatal(err)
+	}
+	// Validation only — nothing is submitted, so a plain Shutdown
+	// drains instantly.
+	f.Cleanup(func() { m.Shutdown(context.Background()) })
+
+	f.Add([]byte{})
+	f.Add([]byte{1, 1, 0, 2, 0, 1, 1, 0, 30, 1, 0})
+	f.Add([]byte{2, 1, 0, 0, 0, 1, 1, 0, 30, 1, 0, 2, 0, 0, 1, 0, 2, 2, 1, 40, 2, 0})
+	f.Add([]byte{3, 3, 4, 4, 3, 2, 1, 1, 255, 0, 16, 3, 3})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec := fuzzSpecFromBytes(data)
+		norm, err := m.validatePipeline(spec)
+		if err != nil {
+			return // rejected is always a legal outcome for garbage
+		}
+		// Accepted: the normalized spec must satisfy the invariants the
+		// scheduler depends on.
+		if len(norm.Waves) == 0 || len(norm.Waves) > MaxPipelineWaves {
+			t.Fatalf("accepted %d waves", len(norm.Waves))
+		}
+		waveIdx := map[string]int{}
+		jobSeen := map[string]bool{}
+		for wi, w := range norm.Waves {
+			if w.Name == "" {
+				t.Fatalf("wave %d: empty normalized name", wi)
+			}
+			if _, dup := waveIdx[w.Name]; dup {
+				t.Fatalf("wave %d: duplicate name %q survived", wi, w.Name)
+			}
+			waveIdx[w.Name] = wi
+			for _, dep := range w.After {
+				di, known := waveIdx[dep]
+				if !known || di >= wi {
+					t.Fatalf("wave %d: dependency %q not strictly earlier", wi, dep)
+				}
+			}
+			if w.Policy < 0 || w.Policy >= numFailurePolicies {
+				t.Fatalf("wave %d: policy %d survived", wi, w.Policy)
+			}
+			if (w.Policy == PolicyRetry) != (w.RetryBudget > 0) {
+				t.Fatalf("wave %d: policy %v with budget %d survived", wi, w.Policy, w.RetryBudget)
+			}
+			if len(w.Jobs) == 0 || len(w.Jobs) > m.cfg.QueueDepth {
+				t.Fatalf("wave %d: %d jobs survived", wi, len(w.Jobs))
+			}
+			for ji, j := range w.Jobs {
+				if j.Name == "" {
+					t.Fatalf("wave %d job %d: empty normalized name", wi, ji)
+				}
+				if jobSeen[j.Name] {
+					t.Fatalf("wave %d job %d: duplicate name %q survived", wi, ji, j.Name)
+				}
+				jobSeen[j.Name] = true
+				if err := j.Spec.Inst.Validate(); err != nil {
+					t.Fatalf("wave %d job %d: invalid instance survived: %v", wi, ji, err)
+				}
+				if j.Spec.Priority < 0 || j.Spec.Priority >= numPriorities {
+					t.Fatalf("wave %d job %d: priority %d survived", wi, ji, j.Spec.Priority)
+				}
+				if j.Spec.Refine {
+					t.Fatalf("wave %d job %d: refine survived with no tuner source", wi, ji)
+				}
+			}
+		}
+		// Normalization must not alias the caller's spec: scribbling on
+		// the input after validation must not reach the copy.
+		if len(spec.Waves) > 0 && len(spec.Waves[0].Jobs) > 0 {
+			before := norm.Waves[0].Jobs[0].Name
+			spec.Waves[0].Jobs[0].Name = "scribbled"
+			if norm.Waves[0].Jobs[0].Name != before {
+				t.Fatal("normalized spec aliases the caller's jobs slice")
+			}
+		}
+	})
+}
+
+// TestFuzzSeedsSmoke pins the decoder itself: the seed corpus must
+// exercise both accepted and rejected shapes, so the fuzz target keeps
+// meaning something if the decoder drifts.
+func TestFuzzSeedsSmoke(t *testing.T) {
+	m := newManager(t, Config{QueueDepth: 8})
+	accepted, rejected := 0, 0
+	for i := 0; i < 256; i++ {
+		data := []byte{byte(i), byte(i * 7), byte(i * 13), byte(i * 29), byte(i * 31),
+			byte(i * 37), byte(i * 41), byte(i * 43), byte(i * 47), byte(i * 53)}
+		if _, err := m.validatePipeline(fuzzSpecFromBytes(data)); err != nil {
+			rejected++
+		} else {
+			accepted++
+		}
+	}
+	if accepted == 0 || rejected == 0 {
+		t.Errorf("decoder lost its reach: %d accepted, %d rejected of 256", accepted, rejected)
+	}
+}

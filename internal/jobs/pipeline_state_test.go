@@ -1,0 +1,162 @@
+package jobs
+
+import "testing"
+
+// legalPipelineTransitions is the complete transition relation, written
+// out by hand so the exhaustive test below compares the implementation
+// against an independent spelling rather than against itself.
+var legalPipelineTransitions = map[PipelineState]map[PipelineEvent]PipelineState{
+	PipeQueued: {
+		PipeEvAdmit:  PipeWaveRunning,
+		PipeEvCancel: PipeCanceled,
+	},
+	PipeWaveRunning: {
+		PipeEvWaveResolved: PipeWaveBarrier,
+		PipeEvWaveFailed:   PipeFailed,
+		PipeEvCancel:       PipeCanceled,
+	},
+	PipeWaveBarrier: {
+		PipeEvAdmit:  PipeWaveRunning,
+		PipeEvFinish: PipeSucceeded,
+		PipeEvCancel: PipeCanceled,
+	},
+	PipeSucceeded: {},
+	PipeFailed:    {},
+	PipeCanceled:  {},
+}
+
+// TestPipelineTransitionTable drives PipelineTransition through every
+// (state, event) pair: legal pairs must land exactly where the relation
+// says, illegal pairs must report false and leave the state unchanged.
+func TestPipelineTransitionTable(t *testing.T) {
+	if len(legalPipelineTransitions) != int(numPipelineStates) {
+		t.Fatalf("transition relation covers %d states, machine has %d",
+			len(legalPipelineTransitions), numPipelineStates)
+	}
+	for s := PipeQueued; s < numPipelineStates; s++ {
+		for e := PipelineEvent(0); e < numPipelineEvents; e++ {
+			next, ok := PipelineTransition(s, e)
+			want, legal := legalPipelineTransitions[s][e]
+			if ok != legal {
+				t.Errorf("(%v, %v): legal = %v, want %v", s, e, ok, legal)
+				continue
+			}
+			if legal && next != want {
+				t.Errorf("(%v, %v) -> %v, want %v", s, e, next, want)
+			}
+			if !legal && next != s {
+				t.Errorf("(%v, %v) illegal transition mutated state: %v", s, e, next)
+			}
+		}
+	}
+}
+
+// TestPipelineTerminalStatesAreTerminal: no event whatsoever moves a
+// finished pipeline, and Finished agrees with the transition relation
+// (a state is terminal exactly when it has no outgoing edges).
+func TestPipelineTerminalStatesAreTerminal(t *testing.T) {
+	for s := PipeQueued; s < numPipelineStates; s++ {
+		outgoing := len(legalPipelineTransitions[s])
+		if s.Finished() != (outgoing == 0) {
+			t.Errorf("%v: Finished() = %v but %d outgoing transitions", s, s.Finished(), outgoing)
+		}
+		if !s.Finished() {
+			continue
+		}
+		for e := PipelineEvent(0); e < numPipelineEvents; e++ {
+			if next, ok := PipelineTransition(s, e); ok || next != s {
+				t.Errorf("terminal %v accepted %v -> %v", s, e, next)
+			}
+		}
+	}
+}
+
+// TestPipelineStatesReachable walks the relation from PipeQueued: every
+// state must be reachable, or the machine carries dead weight.
+func TestPipelineStatesReachable(t *testing.T) {
+	seen := map[PipelineState]bool{PipeQueued: true}
+	frontier := []PipelineState{PipeQueued}
+	for len(frontier) > 0 {
+		s := frontier[0]
+		frontier = frontier[1:]
+		for _, next := range legalPipelineTransitions[s] {
+			if !seen[next] {
+				seen[next] = true
+				frontier = append(frontier, next)
+			}
+		}
+	}
+	for s := PipeQueued; s < numPipelineStates; s++ {
+		if !seen[s] {
+			t.Errorf("state %v unreachable from %v", s, PipeQueued)
+		}
+	}
+}
+
+func TestPipelineStateStrings(t *testing.T) {
+	for s := PipeQueued; s < numPipelineStates; s++ {
+		str := s.String()
+		if str == "" || str == "state(?)" {
+			t.Errorf("state %d has no name", int(s))
+			continue
+		}
+		got, err := ParsePipelineState(str)
+		if err != nil || got != s {
+			t.Errorf("ParsePipelineState(%q) = %v, %v; want %v", str, got, err, s)
+		}
+	}
+	if _, err := ParsePipelineState("bogus"); err == nil {
+		t.Error("ParsePipelineState accepted a bogus state")
+	}
+	if s := PipelineState(99).String(); s != "state(?)" {
+		t.Errorf("out-of-range state String() = %q", s)
+	}
+}
+
+func TestPipelineEventStrings(t *testing.T) {
+	seen := map[string]PipelineEvent{}
+	for e := PipelineEvent(0); e < numPipelineEvents; e++ {
+		str := e.String()
+		if str == "" || str == "event(?)" {
+			t.Errorf("event %d has no name", int(e))
+		}
+		if prev, dup := seen[str]; dup {
+			t.Errorf("events %v and %v share the name %q", prev, e, str)
+		}
+		seen[str] = e
+	}
+	if s := PipelineEvent(99).String(); s != "event(?)" {
+		t.Errorf("out-of-range event String() = %q", s)
+	}
+}
+
+func TestWaveStateStrings(t *testing.T) {
+	seen := map[string]WaveState{}
+	for s := WavePending; s <= WaveSkipped; s++ {
+		str := s.String()
+		if str == "" || str == "wave(?)" {
+			t.Errorf("wave state %d has no name", int(s))
+		}
+		if prev, dup := seen[str]; dup {
+			t.Errorf("wave states %v and %v share the name %q", prev, s, str)
+		}
+		seen[str] = s
+	}
+}
+
+func TestFailurePolicyStrings(t *testing.T) {
+	for p := PolicyAbort; p < numFailurePolicies; p++ {
+		str := p.String()
+		got, err := ParseFailurePolicy(str)
+		if err != nil || got != p {
+			t.Errorf("ParseFailurePolicy(%q) = %v, %v; want %v", str, got, err, p)
+		}
+	}
+	// The empty string is the wire default and selects abort.
+	if got, err := ParseFailurePolicy(""); err != nil || got != PolicyAbort {
+		t.Errorf("ParseFailurePolicy(\"\") = %v, %v; want abort", got, err)
+	}
+	if _, err := ParseFailurePolicy("bogus"); err == nil {
+		t.Error("ParseFailurePolicy accepted a bogus policy")
+	}
+}

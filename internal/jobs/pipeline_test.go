@@ -1,0 +1,761 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/tunecache"
+)
+
+// pipeJob builds one wave job over the stock test system.
+func pipeJob(dim int) PipelineJob {
+	return PipelineJob{Spec: Spec{System: "i7-2600K", Inst: testInst(dim)}}
+}
+
+// wave builds a default-policy wave.
+func wave(jobs ...PipelineJob) WaveSpec { return WaveSpec{Jobs: jobs} }
+
+func awaitPipe(t *testing.T, m *Manager, id string) Pipeline {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	p, err := m.AwaitPipeline(ctx, id)
+	if err != nil {
+		t.Fatalf("awaiting pipeline %s: %v", id, err)
+	}
+	return p
+}
+
+// failingPlan injects deterministic job failures: an instance whose Dim
+// carries failure charges fails its plan fetch until the charges run
+// out (-1 charges fail forever). Everything else succeeds like
+// fixedPlan.
+type failingPlan struct {
+	mu      sync.Mutex
+	charges map[int]int
+}
+
+func newFailingPlan(charges map[int]int) *failingPlan {
+	if charges == nil {
+		charges = map[int]int{}
+	}
+	return &failingPlan{charges: charges}
+}
+
+func (f *failingPlan) fetch(system string, inst plan.Instance) (tunecache.Plan, tunecache.Outcome, error) {
+	f.mu.Lock()
+	n := f.charges[inst.Dim]
+	if n > 0 {
+		f.charges[inst.Dim] = n - 1
+	}
+	f.mu.Unlock()
+	if n != 0 {
+		return tunecache.Plan{}, tunecache.Miss, fmt.Errorf("injected failure for dim %d", inst.Dim)
+	}
+	return fixedPlan(system, inst)
+}
+
+func TestPipelineLifecycle(t *testing.T) {
+	m := newManager(t, Config{Workers: 2})
+	snap, err := m.SubmitPipeline(PipelineSpec{
+		Name: "align-then-fold",
+		Waves: []WaveSpec{
+			{Name: "align", Jobs: []PipelineJob{pipeJob(100), pipeJob(200)}},
+			{Name: "fold", After: []string{"align"}, Jobs: []PipelineJob{pipeJob(300)}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.State != PipeQueued || snap.ID == "" || snap.Created.IsZero() {
+		t.Errorf("submit snapshot = %+v, want a queued record", snap)
+	}
+	if len(snap.Waves) != 2 || snap.Waves[0].Name != "align" || snap.Waves[1].Name != "fold" {
+		t.Errorf("submit snapshot waves = %+v", snap.Waves)
+	}
+
+	done := awaitPipe(t, m, snap.ID)
+	if done.State != PipeSucceeded || done.Err != "" {
+		t.Fatalf("pipeline = %v (err %q), want succeeded", done.State, done.Err)
+	}
+	if done.Started.Before(done.Created) || done.Finished.Before(done.Started) {
+		t.Errorf("timestamps out of order: %+v", done)
+	}
+	widths := []int{2, 1}
+	for wi, w := range done.Waves {
+		if w.State != WaveResolved || w.Failed != 0 || w.RetriesUsed != 0 {
+			t.Errorf("wave %d = %+v, want resolved clean", wi, w)
+		}
+		if len(w.JobIDs) != widths[wi] {
+			t.Errorf("wave %d ran %d jobs, want %d", wi, len(w.JobIDs), widths[wi])
+		}
+		for _, id := range w.JobIDs {
+			j, ok := m.Get(id)
+			if !ok || j.State != StateSucceeded {
+				t.Errorf("wave %d job %s = %+v, want succeeded", wi, id, j)
+			}
+		}
+	}
+
+	// The barrier invariant, observed through the jobs' own monotonic
+	// timestamps: no fold job started before every align job finished.
+	var alignDone time.Time
+	for _, id := range done.Waves[0].JobIDs {
+		if j, _ := m.Get(id); j.Finished.After(alignDone) {
+			alignDone = j.Finished
+		}
+	}
+	for _, id := range done.Waves[1].JobIDs {
+		if j, _ := m.Get(id); j.Started.Before(alignDone) {
+			t.Errorf("fold job %s started %v before align resolved %v", id, j.Started, alignDone)
+		}
+	}
+
+	ps := m.PipelineStats()
+	if ps.Submitted != 1 || ps.Succeeded != 1 || ps.WavesResolved != 2 || ps.Active != 0 {
+		t.Errorf("pipeline stats = %+v", ps)
+	}
+	if st := m.Stats(); st.Succeeded != 3 {
+		t.Errorf("job stats = %+v, want 3 succeeded wave jobs", st)
+	}
+}
+
+// TestPipelineAbortSkipsLaterWaves: the default policy fails the
+// pipeline on the first bad wave and never admits the rest.
+func TestPipelineAbortSkipsLaterWaves(t *testing.T) {
+	f := newFailingPlan(map[int]int{200: -1})
+	m := newManager(t, Config{Workers: 2, Plans: f.fetch})
+	snap, err := m.SubmitPipeline(PipelineSpec{Waves: []WaveSpec{
+		wave(pipeJob(100), pipeJob(200)),
+		wave(pipeJob(300)),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := awaitPipe(t, m, snap.ID)
+	if done.State != PipeFailed {
+		t.Fatalf("pipeline = %v (err %q), want failed", done.State, done.Err)
+	}
+	if !strings.Contains(done.Err, "wave 0") {
+		t.Errorf("failure message %q does not blame wave 0", done.Err)
+	}
+	if done.Waves[0].State != WaveFailed || done.Waves[0].Failed != 1 {
+		t.Errorf("wave 0 = %+v, want failed with 1 bad job", done.Waves[0])
+	}
+	if done.Waves[1].State != WaveSkipped || len(done.Waves[1].JobIDs) != 0 {
+		t.Errorf("wave 1 = %+v, want skipped with no jobs", done.Waves[1])
+	}
+	if ps := m.PipelineStats(); ps.Failed != 1 || ps.WavesResolved != 0 {
+		t.Errorf("pipeline stats = %+v", ps)
+	}
+}
+
+// TestPipelineContinuePolicy: a continue wave resolves even when every
+// one of its jobs fails, and the next wave still runs.
+func TestPipelineContinuePolicy(t *testing.T) {
+	f := newFailingPlan(map[int]int{100: -1, 200: -1})
+	m := newManager(t, Config{Workers: 2, Plans: f.fetch})
+	snap, err := m.SubmitPipeline(PipelineSpec{Waves: []WaveSpec{
+		{Policy: PolicyContinue, Jobs: []PipelineJob{pipeJob(100), pipeJob(200)}},
+		wave(pipeJob(300)),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := awaitPipe(t, m, snap.ID)
+	if done.State != PipeSucceeded {
+		t.Fatalf("pipeline = %v (err %q), want succeeded", done.State, done.Err)
+	}
+	if w := done.Waves[0]; w.State != WaveResolved || w.Failed != 2 {
+		t.Errorf("continue wave = %+v, want resolved with 2 failures on record", w)
+	}
+	if w := done.Waves[1]; w.State != WaveResolved || w.Failed != 0 {
+		t.Errorf("wave 1 = %+v", w)
+	}
+	if ps := m.PipelineStats(); ps.Succeeded != 1 || ps.WavesResolved != 2 {
+		t.Errorf("pipeline stats = %+v", ps)
+	}
+}
+
+// TestPipelineRetryExhaustion: a job that never succeeds burns the
+// whole budget — initial attempt plus RetryBudget resubmissions — and
+// then fails the wave like abort.
+func TestPipelineRetryExhaustion(t *testing.T) {
+	f := newFailingPlan(map[int]int{100: -1})
+	m := newManager(t, Config{Workers: 2, Plans: f.fetch})
+	snap, err := m.SubmitPipeline(PipelineSpec{Waves: []WaveSpec{
+		{Policy: PolicyRetry, RetryBudget: 2, Jobs: []PipelineJob{pipeJob(100)}},
+		wave(pipeJob(300)),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := awaitPipe(t, m, snap.ID)
+	if done.State != PipeFailed {
+		t.Fatalf("pipeline = %v (err %q), want failed", done.State, done.Err)
+	}
+	if !strings.Contains(done.Err, "retry budget exhausted") {
+		t.Errorf("failure message %q does not report exhaustion", done.Err)
+	}
+	w := done.Waves[0]
+	if w.State != WaveFailed || w.RetriesUsed != 2 {
+		t.Errorf("wave 0 = %+v, want failed after 2 retries", w)
+	}
+	if len(w.JobIDs) != 3 { // the original attempt plus both retries
+		t.Errorf("wave 0 ran %d attempts (%v), want 3", len(w.JobIDs), w.JobIDs)
+	}
+	if done.Waves[1].State != WaveSkipped {
+		t.Errorf("wave 1 = %+v, want skipped", done.Waves[1])
+	}
+	if ps := m.PipelineStats(); ps.JobRetries != 2 || ps.Failed != 1 {
+		t.Errorf("pipeline stats = %+v", ps)
+	}
+}
+
+// TestPipelineRetrySucceeds: a transient failure is healed by one
+// resubmission; the healthy job of the same wave is not re-run.
+func TestPipelineRetrySucceeds(t *testing.T) {
+	f := newFailingPlan(map[int]int{100: 1}) // fail once, then succeed
+	m := newManager(t, Config{Workers: 2, Plans: f.fetch})
+	snap, err := m.SubmitPipeline(PipelineSpec{Waves: []WaveSpec{
+		{Policy: PolicyRetry, RetryBudget: 3, Jobs: []PipelineJob{pipeJob(100), pipeJob(200)}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := awaitPipe(t, m, snap.ID)
+	if done.State != PipeSucceeded {
+		t.Fatalf("pipeline = %v (err %q), want succeeded", done.State, done.Err)
+	}
+	w := done.Waves[0]
+	if w.State != WaveResolved || w.RetriesUsed != 1 || w.Failed != 0 {
+		t.Errorf("wave = %+v, want resolved after exactly 1 retry", w)
+	}
+	if len(w.JobIDs) != 3 { // two originals plus the one resubmission
+		t.Errorf("wave ran %d attempts (%v), want 3", len(w.JobIDs), w.JobIDs)
+	}
+	if ps := m.PipelineStats(); ps.JobRetries != 1 || ps.Succeeded != 1 {
+		t.Errorf("pipeline stats = %+v", ps)
+	}
+}
+
+// TestPipelineCancelRunningWave: cancellation reaches the running
+// wave's jobs cooperatively and skips everything after it.
+func TestPipelineCancelRunningWave(t *testing.T) {
+	g := newGatedPlan()
+	m := newManager(t, Config{Workers: 2, Plans: g.fetch})
+	snap, err := m.SubmitPipeline(PipelineSpec{Waves: []WaveSpec{
+		wave(pipeJob(100)),
+		wave(pipeJob(300)),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the wave-0 job is inside the gated fetch.
+	for len(g.order()) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	got, err := m.CancelPipeline(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.CancelRequested || got.State != PipeWaveRunning {
+		t.Errorf("snapshot after cancel = %+v", got)
+	}
+	close(g.gate)
+	done := awaitPipe(t, m, snap.ID)
+	if done.State != PipeCanceled {
+		t.Fatalf("pipeline = %v, want canceled", done.State)
+	}
+	if done.Waves[0].State != WaveCanceled {
+		t.Errorf("wave 0 = %+v, want canceled", done.Waves[0])
+	}
+	if done.Waves[1].State != WaveSkipped || len(done.Waves[1].JobIDs) != 0 {
+		t.Errorf("wave 1 = %+v, want skipped untouched", done.Waves[1])
+	}
+	for _, id := range done.Waves[0].JobIDs {
+		if j, _ := m.Get(id); j.State != StateCanceled {
+			t.Errorf("wave job %s = %v, want canceled", id, j.State)
+		}
+	}
+	// Cancel of a finished pipeline: ErrFinished, state untouched.
+	if _, err := m.CancelPipeline(snap.ID); !errors.Is(err, ErrFinished) {
+		t.Errorf("second cancel err = %v, want ErrFinished", err)
+	}
+	if _, err := m.CancelPipeline("pipe-bogus"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown cancel err = %v, want ErrNotFound", err)
+	}
+	if ps := m.PipelineStats(); ps.Canceled != 1 || ps.Active != 0 {
+		t.Errorf("pipeline stats = %+v", ps)
+	}
+}
+
+// TestPipelineCancelAtWaveBoundary: the cancel lands while the driver
+// sits between waves, blocked waiting for queue space to admit the next
+// one. No job of that wave may ever be submitted.
+func TestPipelineCancelAtWaveBoundary(t *testing.T) {
+	g := newGatedPlan()
+	m := newManager(t, Config{Workers: 1, QueueDepth: 1, Plans: g.fetch})
+
+	// Occupy the only worker, then fill the queue's single slot, so the
+	// pipeline driver must wait for space.
+	filler, err := m.Submit(Spec{System: "i7-2600K", Inst: testInst(900)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for len(g.order()) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	queued, err := m.Submit(Spec{System: "i7-2600K", Inst: testInst(901)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := m.SubmitPipeline(PipelineSpec{Waves: []WaveSpec{wave(pipeJob(100))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The driver admitted wave 0 (state wave-running) but cannot place
+	// its job; give it a moment to reach the space wait, then cancel.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		p, ok := m.GetPipeline(snap.ID)
+		if ok && p.State == PipeWaveRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("pipeline never reached wave-running")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := m.CancelPipeline(snap.ID); err != nil {
+		t.Fatal(err)
+	}
+	done := awaitPipe(t, m, snap.ID)
+	if done.State != PipeCanceled {
+		t.Fatalf("pipeline = %v, want canceled", done.State)
+	}
+	if n := len(done.Waves[0].JobIDs); n != 0 {
+		t.Errorf("canceled-at-boundary wave submitted %d job(s), want 0", n)
+	}
+	// The queue is not wedged: the unrelated jobs still drain.
+	close(g.gate)
+	for _, id := range []string{filler.ID, queued.ID} {
+		if j := await(t, m, id); j.State != StateSucceeded {
+			t.Errorf("job %s = %v after pipeline cancel, want succeeded", id, j.State)
+		}
+	}
+}
+
+// TestPipelineShutdownDrains: a graceful shutdown owes an admitted
+// pipeline all of its remaining waves, exactly like queued jobs.
+func TestPipelineShutdownDrains(t *testing.T) {
+	m := newManager(t, Config{Workers: 2})
+	snap, err := m.SubmitPipeline(PipelineSpec{Waves: []WaveSpec{
+		wave(pipeJob(100), pipeJob(200)),
+		wave(pipeJob(300)),
+		wave(pipeJob(400)),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	done, ok := m.GetPipeline(snap.ID)
+	if !ok || done.State != PipeSucceeded {
+		t.Fatalf("pipeline after drain = %+v, want succeeded", done)
+	}
+	for wi, w := range done.Waves {
+		if w.State != WaveResolved {
+			t.Errorf("wave %d = %+v after drain, want resolved", wi, w)
+		}
+	}
+	if _, err := m.SubmitPipeline(PipelineSpec{Waves: []WaveSpec{wave(pipeJob(500))}}); !errors.Is(err, ErrClosed) {
+		t.Errorf("submit after shutdown err = %v, want ErrClosed", err)
+	}
+}
+
+// TestPipelineShutdownAbort: an expired drain deadline cancels the
+// half-complete pipeline — the gated wave finishes canceled and the
+// unstarted wave is skipped, never submitted.
+func TestPipelineShutdownAbort(t *testing.T) {
+	g := newGatedPlan()
+	m := newManager(t, Config{Workers: 1, Plans: g.fetch})
+	snap, err := m.SubmitPipeline(PipelineSpec{Waves: []WaveSpec{
+		wave(pipeJob(100)),
+		wave(pipeJob(300)),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for len(g.order()) == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- m.Shutdown(ctx) }()
+	// The abort cancels the running wave job's context; the worker is
+	// still stuck in the fetch until the gate opens.
+	time.Sleep(50 * time.Millisecond)
+	close(g.gate)
+	if err := <-shutdownDone; !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("aborted Shutdown err = %v, want deadline exceeded", err)
+	}
+	done := awaitPipe(t, m, snap.ID)
+	if done.State != PipeCanceled {
+		t.Fatalf("pipeline after abort = %v, want canceled", done.State)
+	}
+	if done.Waves[1].State != WaveSkipped || len(done.Waves[1].JobIDs) != 0 {
+		t.Errorf("unstarted wave after abort = %+v, want skipped", done.Waves[1])
+	}
+}
+
+// TestPipelineAdmissionControl: MaxPipelines bounds concurrently active
+// pipelines; overflow answers ErrQueueFull and counts as rejected.
+func TestPipelineAdmissionControl(t *testing.T) {
+	g := newGatedPlan()
+	m := newManager(t, Config{Workers: 1, MaxPipelines: 2, Plans: g.fetch})
+	var ids []string
+	for i := 0; i < 2; i++ {
+		snap, err := m.SubmitPipeline(PipelineSpec{Waves: []WaveSpec{wave(pipeJob(100 + i))}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, snap.ID)
+	}
+	if _, err := m.SubmitPipeline(PipelineSpec{Waves: []WaveSpec{wave(pipeJob(300))}}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third pipeline err = %v, want ErrQueueFull", err)
+	}
+	if ps := m.PipelineStats(); ps.Rejected != 1 || ps.Active != 2 || ps.MaxActive != 2 {
+		t.Errorf("pipeline stats = %+v", ps)
+	}
+	close(g.gate)
+	for _, id := range ids {
+		awaitPipe(t, m, id)
+	}
+	// Slots free up once pipelines finish.
+	snap, err := m.SubmitPipeline(PipelineSpec{Waves: []WaveSpec{wave(pipeJob(400))}})
+	if err != nil {
+		t.Fatalf("submit after drain err = %v", err)
+	}
+	awaitPipe(t, m, snap.ID)
+}
+
+// TestPipelinePruning: PrunePipelines drops exactly the finished
+// records; job records of the waves survive under their own bound.
+func TestPipelinePruning(t *testing.T) {
+	m := newManager(t, Config{Workers: 2})
+	var ids []string
+	for i := 0; i < 3; i++ {
+		snap, err := m.SubmitPipeline(PipelineSpec{Waves: []WaveSpec{wave(pipeJob(100 + i))}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, snap.ID)
+	}
+	var jobID string
+	for _, id := range ids {
+		p := awaitPipe(t, m, id)
+		jobID = p.Waves[0].JobIDs[0]
+	}
+	if n := m.PrunePipelines(); n != 3 {
+		t.Errorf("pruned %d records, want 3", n)
+	}
+	for _, id := range ids {
+		if _, ok := m.GetPipeline(id); ok {
+			t.Errorf("pipeline %s survived pruning", id)
+		}
+	}
+	if n := m.PrunePipelines(); n != 0 {
+		t.Errorf("second prune removed %d records, want 0", n)
+	}
+	if _, ok := m.Get(jobID); !ok {
+		t.Error("wave job record vanished with its pipeline; job retention is separate")
+	}
+	if l := m.ListPipelines(PipelineFilter{}); len(l) != 0 {
+		t.Errorf("ListPipelines after prune = %d records", len(l))
+	}
+}
+
+// TestPipelineListFilter: ListPipelines reports submission order and
+// honors the state filter.
+func TestPipelineListFilter(t *testing.T) {
+	f := newFailingPlan(map[int]int{200: -1})
+	m := newManager(t, Config{Workers: 2, Plans: f.fetch})
+	good, err := m.SubmitPipeline(PipelineSpec{Waves: []WaveSpec{wave(pipeJob(100))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := m.SubmitPipeline(PipelineSpec{Waves: []WaveSpec{wave(pipeJob(200))}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitPipe(t, m, good.ID)
+	awaitPipe(t, m, bad.ID)
+
+	all := m.ListPipelines(PipelineFilter{})
+	if len(all) != 2 || all[0].ID != good.ID || all[1].ID != bad.ID {
+		t.Errorf("ListPipelines = %+v, want submission order", all)
+	}
+	failed := PipeFailed
+	if l := m.ListPipelines(PipelineFilter{State: &failed}); len(l) != 1 || l[0].ID != bad.ID {
+		t.Errorf("ListPipelines(failed) = %+v", l)
+	}
+}
+
+// randPipeline is one generated pipeline plus the failure knowledge the
+// invariant checks need.
+type randPipeline struct {
+	spec       PipelineSpec
+	cancel     bool
+	mustFail   bool // some wave cannot resolve under its policy
+	cancelWait time.Duration
+}
+
+// genPipeline draws a random pipeline: 1-4 waves of 1-3 jobs, random
+// policies, with injected always-failing and fail-once jobs. Dims are
+// unique per job (nextDim) so the failingPlan can target them.
+func genPipeline(rng *rand.Rand, charges map[int]int, nextDim *int) randPipeline {
+	var rp randPipeline
+	nWaves := 1 + rng.Intn(4)
+	var prevName string
+	for wi := 0; wi < nWaves; wi++ {
+		w := WaveSpec{Name: fmt.Sprintf("w%d", wi)}
+		switch rng.Intn(3) {
+		case 1:
+			w.Policy = PolicyContinue
+		case 2:
+			w.Policy = PolicyRetry
+			w.RetryBudget = 1 + rng.Intn(3)
+		}
+		if wi > 0 && rng.Intn(2) == 0 {
+			w.After = []string{prevName}
+		}
+		prevName = w.Name
+		waveAlwaysFail := 0
+		for ji := 0; ji < 1+rng.Intn(3); ji++ {
+			*nextDim += 7
+			dim := *nextDim
+			switch rng.Intn(8) {
+			case 0: // always fails
+				charges[dim] = -1
+				waveAlwaysFail++
+			case 1: // fails once, healed by a retry
+				charges[dim] = 1
+			}
+			j := pipeJob(dim)
+			if rng.Intn(3) == 0 {
+				j.Spec.Priority = Priority(rng.Intn(int(numPriorities)))
+			}
+			w.Jobs = append(w.Jobs, j)
+		}
+		// A wave with an always-failing job resolves only under
+		// continue; abort fails outright and retry burns its budget.
+		if waveAlwaysFail > 0 && w.Policy != PolicyContinue {
+			rp.mustFail = true
+		}
+		// Fail-once jobs sink non-retry waves too (except continue).
+		if w.Policy == PolicyAbort {
+			for _, j := range w.Jobs {
+				if charges[j.Spec.Inst.Dim] == 1 {
+					rp.mustFail = true
+				}
+			}
+		}
+		rp.spec.Waves = append(rp.spec.Waves, w)
+	}
+	if rng.Intn(5) == 0 {
+		rp.cancel = true
+		rp.cancelWait = time.Duration(rng.Intn(4)) * time.Millisecond
+	}
+	return rp
+}
+
+// checkPipelineInvariants asserts the structural invariants every
+// finished pipeline must satisfy, whatever the injected failures and
+// cancel timing did.
+func checkPipelineInvariants(t *testing.T, m *Manager, p Pipeline, rp randPipeline, seenJobs map[string]string) {
+	t.Helper()
+	if !p.State.Finished() {
+		t.Errorf("%s: awaited pipeline not terminal: %v", p.ID, p.State)
+		return
+	}
+	// Terminal is terminal: the record never moves again.
+	if again, ok := m.GetPipeline(p.ID); !ok || again.State != p.State {
+		t.Errorf("%s: terminal state drifted %v -> %v", p.ID, p.State, again.State)
+	}
+	if _, err := m.CancelPipeline(p.ID); !errors.Is(err, ErrFinished) {
+		t.Errorf("%s: cancel of terminal pipeline err = %v, want ErrFinished", p.ID, err)
+	}
+	// A pipeline that cannot succeed must not report success; cancels
+	// may preempt the failure.
+	if rp.mustFail && p.State == PipeSucceeded {
+		t.Errorf("%s: succeeded despite an unresolvable wave", p.ID)
+	}
+	if !rp.cancel && p.State == PipeCanceled {
+		t.Errorf("%s: canceled without a cancel request", p.ID)
+	}
+
+	// Wave states must form a legal ladder: resolved prefix, then at
+	// most one failed/canceled wave, then only skipped.
+	sawTerminalWave := false
+	for wi, w := range p.Waves {
+		switch w.State {
+		case WaveResolved:
+			if sawTerminalWave {
+				t.Errorf("%s: wave %d resolved after the pipeline ended", p.ID, wi)
+			}
+		case WaveFailed, WaveCanceled:
+			if sawTerminalWave {
+				t.Errorf("%s: two terminal waves (second at %d)", p.ID, wi)
+			}
+			sawTerminalWave = true
+		case WaveSkipped:
+			if !sawTerminalWave && p.State == PipeSucceeded {
+				t.Errorf("%s: succeeded with wave %d skipped", p.ID, wi)
+			}
+			sawTerminalWave = true
+			if len(w.JobIDs) != 0 {
+				t.Errorf("%s: skipped wave %d submitted jobs %v", p.ID, wi, w.JobIDs)
+			}
+		default:
+			t.Errorf("%s: wave %d left non-terminal: %v", p.ID, wi, w.State)
+		}
+		if w.State == WaveFailed && p.State != PipeFailed && p.State != PipeCanceled {
+			t.Errorf("%s: wave %d failed but pipeline %v", p.ID, wi, p.State)
+		}
+
+		// Every attempt accounted for exactly once, globally: a job ID
+		// appears in exactly one wave of one pipeline.
+		width := len(rp.spec.Waves[wi].Jobs)
+		if w.State == WaveResolved || w.State == WaveFailed {
+			want := width + w.RetriesUsed
+			if w.State == WaveFailed && rp.spec.Waves[wi].Policy == PolicyAbort {
+				want = width
+			}
+			if len(w.JobIDs) != want {
+				t.Errorf("%s: wave %d has %d attempts, want %d (width %d + retries %d)",
+					p.ID, wi, len(w.JobIDs), want, width, w.RetriesUsed)
+			}
+		}
+		for _, id := range w.JobIDs {
+			if owner, dup := seenJobs[id]; dup {
+				t.Errorf("job %s claimed by both %s and %s/wave-%d", id, owner, p.ID, wi)
+			}
+			seenJobs[id] = fmt.Sprintf("%s/wave-%d", p.ID, wi)
+			if j, ok := m.Get(id); ok && !j.State.Finished() {
+				t.Errorf("%s: wave %d job %s not terminal: %v", p.ID, wi, id, j.State)
+			}
+		}
+	}
+
+	// The barrier invariant via monotonic job timestamps: no job of
+	// wave k+1 starts before every attempt of wave k finished.
+	for wi := 1; wi < len(p.Waves); wi++ {
+		var prevDone time.Time
+		complete := true
+		for _, id := range p.Waves[wi-1].JobIDs {
+			j, ok := m.Get(id)
+			if !ok || j.Finished.IsZero() {
+				complete = false
+				break
+			}
+			if j.Finished.After(prevDone) {
+				prevDone = j.Finished
+			}
+		}
+		if !complete {
+			continue
+		}
+		for _, id := range p.Waves[wi].JobIDs {
+			j, ok := m.Get(id)
+			if !ok || j.Started.IsZero() {
+				continue
+			}
+			if j.Started.Before(prevDone) {
+				t.Errorf("%s: wave %d job %s started %v before wave %d resolved at %v",
+					p.ID, wi, id, j.Started, wi-1, prevDone)
+			}
+		}
+	}
+}
+
+// TestPipelineRandomized drives >= 200 generated pipelines — random
+// shapes, policies, injected failures and cancel timing — through one
+// manager and asserts the invariants on every outcome.
+func TestPipelineRandomized(t *testing.T) {
+	const total = 200
+	rng := rand.New(rand.NewSource(7))
+	charges := map[int]int{}
+	nextDim := 64
+	pipes := make([]randPipeline, total)
+	for i := range pipes {
+		pipes[i] = genPipeline(rng, charges, &nextDim)
+	}
+	f := newFailingPlan(charges)
+	m := newManager(t, Config{
+		Workers: 4, QueueDepth: 64, MaxPipelines: total,
+		MaxRecords: 100000, Plans: f.fetch,
+	})
+
+	const submitters = 8
+	var wg sync.WaitGroup
+	results := make([]Pipeline, total)
+	for s := 0; s < submitters; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := s; i < total; i += submitters {
+				snap, err := m.SubmitPipeline(pipes[i].spec)
+				if err != nil {
+					t.Errorf("pipeline %d rejected: %v", i, err)
+					continue
+				}
+				if pipes[i].cancel {
+					go func(id string, wait time.Duration) {
+						time.Sleep(wait)
+						m.CancelPipeline(id)
+					}(snap.ID, pipes[i].cancelWait)
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+				p, err := m.AwaitPipeline(ctx, snap.ID)
+				cancel()
+				if err != nil {
+					t.Errorf("awaiting pipeline %d (%s): %v", i, snap.ID, err)
+					continue
+				}
+				results[i] = p
+			}
+		}(s)
+	}
+	wg.Wait()
+
+	seenJobs := make(map[string]string)
+	for i, p := range results {
+		if p.ID == "" {
+			continue // submit or await already failed the test
+		}
+		checkPipelineInvariants(t, m, p, pipes[i], seenJobs)
+	}
+
+	ps := m.PipelineStats()
+	if ps.Submitted != total {
+		t.Errorf("submitted = %d, want %d", ps.Submitted, total)
+	}
+	if got := ps.Succeeded + ps.Failed + ps.Canceled; got != ps.Submitted {
+		t.Errorf("terminal outcomes %d != submitted %d (%+v)", got, ps.Submitted, ps)
+	}
+	if ps.Active != 0 {
+		t.Errorf("active = %d after every pipeline finished", ps.Active)
+	}
+	t.Logf("randomized outcomes: %d succeeded, %d failed, %d canceled, %d waves, %d retries",
+		ps.Succeeded, ps.Failed, ps.Canceled, ps.WavesResolved, ps.JobRetries)
+}

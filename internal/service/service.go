@@ -8,7 +8,9 @@
 // themselves are loaded (or trained) lazily per system on first use.
 // Beyond one-shot predictions, the daemon runs whole tuned wavefront
 // jobs asynchronously through internal/jobs (POST /v1/jobs), with
-// optional online refinement feeding a persisted training log.
+// optional online refinement feeding a persisted training log, and
+// chains jobs into wave-DAG pipelines (POST /v1/pipelines): ordered
+// waves of jobs with sequential barriers and per-wave failure policies.
 //
 // Named applications resolve through the internal/apps registry, so the
 // daemon has no per-app code: registering a workload (builtin.go or
@@ -17,16 +19,21 @@
 //
 // Endpoints:
 //
-//	POST   /v1/tune       predict tuned Params for an instance (cache-backed)
-//	POST   /v1/tune/batch predict many instances in one request (deduped, parallel)
-//	POST   /v1/jobs       submit an asynchronous tuned-execution job
-//	GET    /v1/jobs       list job records (filterable by state/system)
-//	GET    /v1/jobs/{id}  poll one job record
-//	DELETE /v1/jobs/{id}  cancel a queued or running job
-//	GET    /v1/apps       list the application catalog (names, granularity, params)
-//	GET    /v1/systems    list the served systems and tuner states
-//	GET    /v1/stats      cache, job and request counters, uptime
-//	GET    /healthz       liveness probe
+//	POST   /v1/tune            predict tuned Params for an instance (cache-backed)
+//	POST   /v1/tune/batch      predict many instances in one request (deduped, parallel)
+//	POST   /v1/jobs            submit an asynchronous tuned-execution job
+//	GET    /v1/jobs            list job records (filterable by state/system)
+//	GET    /v1/jobs/{id}       poll one job record
+//	DELETE /v1/jobs/{id}       cancel a queued or running job
+//	POST   /v1/pipelines       submit a wave-DAG pipeline of jobs (sequential wave barriers)
+//	GET    /v1/pipelines       list pipeline records (filterable by state)
+//	GET    /v1/pipelines/{id}  poll one pipeline record
+//	DELETE /v1/pipelines/{id}  cancel a pipeline (running wave cooperatively, later waves skipped)
+//	DELETE /v1/pipelines       prune finished pipeline records
+//	GET    /v1/apps            list the application catalog (names, granularity, params)
+//	GET    /v1/systems         list the served systems and tuner states
+//	GET    /v1/stats           cache, job, pipeline and request counters, uptime
+//	GET    /healthz            liveness probe
 package service
 
 import (
@@ -97,8 +104,12 @@ type JobOptions struct {
 	// observations as per-system search-CSV files (wavetrain -from).
 	TrainingLogDir string
 	// MaxRecords bounds retained finished job records (<= 0 selects the
-	// jobs default).
+	// jobs default); the same bound retains finished pipeline records.
 	MaxRecords int
+	// MaxPipelines bounds concurrently active pipelines; overflowing
+	// submissions are rejected with 429 (<= 0 selects the jobs
+	// default).
+	MaxPipelines int
 }
 
 // Server is the tuning daemon: an http.Handler plus the plan cache and
@@ -120,6 +131,7 @@ type Server struct {
 	tuneReqs   atomic.Uint64
 	batchReqs  atomic.Uint64
 	jobReqs    atomic.Uint64
+	pipeReqs   atomic.Uint64
 	appsReqs   atomic.Uint64
 	statsReqs  atomic.Uint64
 	sysReqs    atomic.Uint64
@@ -183,6 +195,7 @@ func New(cfg Config) (*Server, error) {
 		RefineBudget: cfg.Jobs.RefineBudget,
 		TrainingLog:  s.trainLog,
 		MaxRecords:   cfg.Jobs.MaxRecords,
+		MaxPipelines: cfg.Jobs.MaxPipelines,
 		Logf:         cfg.Logf,
 	})
 	if err != nil {
@@ -196,6 +209,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/tune/batch", s.handleTuneBatch)
 	s.mux.HandleFunc("/v1/jobs", s.handleJobs)
 	s.mux.HandleFunc("/v1/jobs/", s.handleJobByID)
+	s.mux.HandleFunc("/v1/pipelines", s.handlePipelines)
+	s.mux.HandleFunc("/v1/pipelines/", s.handlePipelineByID)
 	s.mux.HandleFunc("/v1/apps", s.handleApps)
 	s.mux.HandleFunc("/v1/systems", s.handleSystems)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
@@ -553,6 +568,7 @@ type StatsResponse struct {
 	Cache         tunecache.Stats            `json:"cache"`
 	CacheBySystem map[string]tunecache.Stats `json:"cache_by_system"`
 	Jobs          jobs.Stats                 `json:"jobs"`
+	Pipelines     jobs.PipelineStats         `json:"pipelines"`
 	Requests      map[string]uint64          `json:"requests"`
 }
 
@@ -568,15 +584,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cache:         s.cache.Stats(),
 		CacheBySystem: s.cache.SystemStats(),
 		Jobs:          s.jobs.Stats(),
+		Pipelines:     s.jobs.PipelineStats(),
 		Requests: map[string]uint64{
-			"tune":    s.tuneReqs.Load(),
-			"batch":   s.batchReqs.Load(),
-			"jobs":    s.jobReqs.Load(),
-			"apps":    s.appsReqs.Load(),
-			"systems": s.sysReqs.Load(),
-			"stats":   s.statsReqs.Load(),
-			"healthz": s.healthReqs.Load(),
-			"errors":  s.badReqs.Load(),
+			"tune":      s.tuneReqs.Load(),
+			"batch":     s.batchReqs.Load(),
+			"jobs":      s.jobReqs.Load(),
+			"pipelines": s.pipeReqs.Load(),
+			"apps":      s.appsReqs.Load(),
+			"systems":   s.sysReqs.Load(),
+			"stats":     s.statsReqs.Load(),
+			"healthz":   s.healthReqs.Load(),
+			"errors":    s.badReqs.Load(),
 		},
 	})
 }

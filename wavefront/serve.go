@@ -151,6 +151,8 @@ func NewStaticTunerSource(tuners ...*Tuner) TunerSource {
 // priority queue and worker pool running tuned wavefront jobs against
 // the modeled systems, with per-job lifecycle records, cooperative
 // cancellation, graceful drain and optional online-refinement feedback.
+// It also runs wave-DAG pipelines (SubmitPipeline): jobs grouped into
+// ordered waves with sequential barriers and per-wave failure policies.
 type JobManager = jobs.Manager
 
 // JobConfig configures NewJobManager.
@@ -209,6 +211,68 @@ const (
 // TuningServer.Jobs).
 func NewJobManager(cfg JobConfig) (*JobManager, error) {
 	return jobs.New(cfg)
+}
+
+// PipelineSpec describes a wave-DAG pipeline submission: ordered waves
+// of job specs, where jobs within a wave run in parallel through the
+// manager's worker pool and wave N+1 is admitted only after wave N
+// resolves at a sequential barrier.
+type PipelineSpec = jobs.PipelineSpec
+
+// WaveSpec is one wave of a PipelineSpec: parallel jobs between two
+// sequential barriers, with a failure policy.
+type WaveSpec = jobs.WaveSpec
+
+// PipelineJob is one named job of a wave.
+type PipelineJob = jobs.PipelineJob
+
+// WaveFailurePolicy decides how a wave resolves when jobs fail: abort
+// (default), continue, or retry within a budget.
+type WaveFailurePolicy = jobs.FailurePolicy
+
+// The three wave failure policies.
+const (
+	WavePolicyAbort    = jobs.PolicyAbort
+	WavePolicyContinue = jobs.PolicyContinue
+	WavePolicyRetry    = jobs.PolicyRetry
+)
+
+// Pipeline is an immutable snapshot of one pipeline record; Wave
+// snapshots one of its waves.
+type Pipeline = jobs.Pipeline
+
+// PipelineWave is the immutable snapshot of one wave's record.
+type PipelineWave = jobs.PipelineWave
+
+// PipelineState is a pipeline's lifecycle state; PipelineEvent drives
+// the state machine.
+type PipelineState = jobs.PipelineState
+
+// PipelineEvent is one input of the pipeline state machine.
+type PipelineEvent = jobs.PipelineEvent
+
+// Pipeline lifecycle states, re-exported for callers outside the
+// module.
+const (
+	PipelineQueued      = jobs.PipeQueued
+	PipelineWaveRunning = jobs.PipeWaveRunning
+	PipelineWaveBarrier = jobs.PipeWaveBarrier
+	PipelineSucceeded   = jobs.PipeSucceeded
+	PipelineFailed      = jobs.PipeFailed
+	PipelineCanceled    = jobs.PipeCanceled
+)
+
+// PipelineFilter selects pipelines in JobManager.ListPipelines.
+type PipelineFilter = jobs.PipelineFilter
+
+// PipelineStats is a snapshot of a JobManager's pipeline counters.
+type PipelineStats = jobs.PipelineStats
+
+// PipelineTransition is the pipeline lifecycle state machine as a pure
+// function: the state after applying e in s, and whether the transition
+// is legal.
+func PipelineTransition(s PipelineState, e PipelineEvent) (PipelineState, bool) {
+	return jobs.PipelineTransition(s, e)
 }
 
 // ObservationLog persists measured (instance, params, runtime)
