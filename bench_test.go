@@ -10,8 +10,11 @@ package repro
 import (
 	"context"
 	"fmt"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -467,6 +470,98 @@ func BenchmarkPlanCacheHitParallel(b *testing.B) {
 			})
 		})
 	}
+}
+
+// BenchmarkMetricsOverhead prices the observability layer on the
+// serving hot path. The bare variant is the raw plan-cache hit; the
+// instrumented variant adds everything the daemon's telemetry does per
+// tune request — the request-scoped http.request and cache.lookup
+// spans with annotations, the per-route request counter, and the
+// lookup/latency histogram observations. The delta between the two is
+// the total per-request metrics cost (about a microsecond); the served
+// variant runs the real thing — POST /v1/tune on a warm cache through
+// the fully instrumented daemon — whose per-request time dwarfs that
+// delta, keeping the telemetry share of the serving hot path well
+// under 5% (the CI trajectory separately gates
+// BenchmarkPlanCacheHitParallel at 5%).
+func BenchmarkMetricsOverhead(b *testing.B) {
+	fill := func(system string, in plan.Instance) (tunecache.Plan, error) {
+		return tunecache.Plan{
+			Par:     plan.Params{CPUTile: 8, Band: -1, GPUTile: 1, Halo: -1},
+			RTimeNs: 1e6, SerialNs: 2e6,
+		}, nil
+	}
+	inst := plan.Instance{Dim: 1900, TSize: 2000, DSize: 1}
+
+	b.Run("bare", func(b *testing.B) {
+		c := tunecache.New(0, fill)
+		if _, _, err := c.Get("i7-2600K", inst); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, out, err := c.Get("i7-2600K", inst); err != nil || out != tunecache.Hit {
+				b.Fatalf("lookup = %v (%v), want hit", out, err)
+			}
+		}
+	})
+
+	b.Run("instrumented", func(b *testing.B) {
+		c := tunecache.New(0, fill)
+		if _, _, err := c.Get("i7-2600K", inst); err != nil {
+			b.Fatal(err)
+		}
+		reg := wavefront.NewMetricsRegistry()
+		requests := reg.CounterVec("waved_http_requests_total",
+			"Requests handled, by route.", "route").With("tune")
+		latency := reg.HistogramVec("waved_http_request_duration_seconds",
+			"End-to-end request latency, by route.", nil, "route").With("tune")
+		lookupSec := reg.Histogram("waved_cache_lookup_duration_seconds",
+			"Plan-cache lookup latency on the tune path.", nil)
+		base := wavefront.WithRequestID(context.Background(), wavefront.NewRequestID())
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ctx, span := wavefront.StartRootTraceSpan(base, "http.request")
+			span.Annotate("route", "tune")
+			lctx, lookup := wavefront.StartTraceSpan(ctx, "cache.lookup")
+			_, out, err := c.GetCtx(lctx, "i7-2600K", inst)
+			lookupSec.Observe(lookup.End().Seconds())
+			if err != nil || out != tunecache.Hit {
+				b.Fatalf("lookup = %v (%v), want hit", out, err)
+			}
+			requests.Add(1)
+			latency.Observe(span.End().Seconds())
+		}
+	})
+
+	b.Run("served", func(b *testing.B) {
+		srv, err := wavefront.NewTuningServer(wavefront.TuningConfig{
+			Systems: []wavefront.System{hw.I7_2600K()},
+			Tuners:  wavefront.NewStaticTunerSource(benchTuner(b)),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		body := `{"system":"i7-2600K","dim":1900,"tsize":2000,"dsize":1}`
+		post := func() {
+			resp, err := http.Post(ts.URL+"/v1/tune", "application/json", strings.NewReader(body))
+			if err != nil {
+				b.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Fatalf("tune status %d", resp.StatusCode)
+			}
+		}
+		post() // warm the cache: every timed iteration is a hit
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			post()
+		}
+	})
 }
 
 // BenchmarkTuneBatchEndpoint measures POST /v1/tune/batch end to end on

@@ -9,14 +9,27 @@
 //
 // Usage:
 //
-//	benchtraj [-bench regex] [-count 3] [-benchtime 20x] [-dir .]
+//	benchtraj [-bench regex] [-count 5] [-benchtime 20x] [-dir .]
 //	          [-tol 0.05] [-warn-only] [-dry-run]
 //
+// Without -bench the trajectory runs in two groups, each with a
+// benchtime sized to its benchmarks: the substrate group (millisecond-
+// scale frontier sweeps) uses a fixed 20 iterations, while the serving
+// group (microsecond-scale cache hits, request handling, job and
+// pipeline throughput) gets a 0.3s time budget per run — a fixed
+// handful of microsecond iterations measures only a few hundred
+// microseconds of work, which scheduler and hypervisor stalls swamp.
+// Passing -bench runs that regex as a single group under -benchtime.
+//
 // The snapshot records one ns/op number per benchmark (the median
-// across -count runs) plus the host fingerprint, so consecutive files
-// in the repository form a reviewable perf history. Comparisons across
-// different machines are advisory only; the gate is meant for
-// before/after runs on one host.
+// across -count runs) plus the host fingerprint and the run settings,
+// so consecutive files in the repository form a reviewable perf
+// history. The gate only applies like-for-like: when the bench set,
+// count or benchtime differ from the previous snapshot the numbers are
+// not comparable (different operating points), so the run re-baselines
+// instead of gating. Comparisons across different machines are
+// likewise advisory only; the gate is meant for before/after runs on
+// one host.
 package main
 
 import (
@@ -35,10 +48,24 @@ import (
 	"time"
 )
 
-// defaultBench selects the trajectory set: the serving hot paths
-// (plan-cache hits, batch tuning, job and pipeline throughput) and the
-// frontier substrate including its dense-parity pairs.
-const defaultBench = "Frontier|PlanCacheHit|TuneBatch|JobThroughput|PipelineThroughput"
+// A benchGroup is one go test -bench invocation with a benchtime
+// sized to its benchmarks' per-op scale.
+type benchGroup struct {
+	bench     string
+	benchtime string
+}
+
+// defaultGroups selects the trajectory set: the frontier substrate
+// including its dense-parity pairs (ms-scale ops, so a fixed 20
+// iterations is already ~1s of measurement), and the serving hot paths
+// — plan-cache hits, batch tuning, job and pipeline throughput, the
+// metrics-overhead probe pricing the telemetry layer — whose µs-scale
+// ops need a time budget to average out scheduler stalls.
+var defaultGroups = []benchGroup{
+	{bench: "Frontier", benchtime: "20x"},
+	{bench: "PlanCacheHit|TuneBatch|JobThroughput|PipelineThroughput|MetricsOverhead",
+		benchtime: "0.3s"},
+}
 
 // Snapshot is the schema of one BENCH_<date>.json file.
 type Snapshot struct {
@@ -56,34 +83,58 @@ type Snapshot struct {
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchtraj: ")
-	bench := flag.String("bench", defaultBench, "benchmark regex passed to go test -bench")
-	count := flag.Int("count", 3, "runs per benchmark; the median is recorded")
-	benchtime := flag.String("benchtime", "20x", "go test -benchtime per run")
+	bench := flag.String("bench", "", "benchmark regex run as a single group (default: the built-in groups)")
+	count := flag.Int("count", 5, "runs per benchmark; the median is recorded")
+	benchtime := flag.String("benchtime", "", "go test -benchtime per run (overrides the per-group defaults)")
 	dir := flag.String("dir", ".", "directory holding BENCH_<date>.json snapshots (the repo root)")
 	tol := flag.Float64("tol", 0.05, "allowed fractional ns/op growth vs the previous snapshot")
 	warnOnly := flag.Bool("warn-only", false, "report regressions but exit 0 (noisy shared runners)")
 	dryRun := flag.Bool("dry-run", false, "run and compare but do not write the snapshot file")
 	flag.Parse()
 
-	out, err := runBench(*dir, *bench, *count, *benchtime)
-	if err != nil {
-		log.Fatal(err)
+	groups := defaultGroups
+	if *bench != "" {
+		bt := *benchtime
+		if bt == "" {
+			bt = "20x"
+		}
+		groups = []benchGroup{{bench: *bench, benchtime: bt}}
+	} else if *benchtime != "" {
+		groups = make([]benchGroup, len(defaultGroups))
+		for i, g := range defaultGroups {
+			groups[i] = benchGroup{bench: g.bench, benchtime: *benchtime}
+		}
 	}
-	results, err := parseBench(out)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if len(results) == 0 {
-		log.Fatalf("no benchmarks matched %q", *bench)
+
+	results := map[string]float64{}
+	benches := make([]string, 0, len(groups))
+	benchtimes := make([]string, 0, len(groups))
+	for _, g := range groups {
+		out, err := runBench(*dir, g.bench, *count, g.benchtime)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, err := parseBench(out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(got) == 0 {
+			log.Fatalf("no benchmarks matched %q", g.bench)
+		}
+		for n, v := range got {
+			results[n] = v
+		}
+		benches = append(benches, g.bench)
+		benchtimes = append(benchtimes, g.benchtime)
 	}
 
 	snap := Snapshot{
 		Date:       time.Now().UTC().Format("2006-01-02"),
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Bench:      *bench,
+		Bench:      strings.Join(benches, ";"),
 		Count:      *count,
-		Benchtime:  *benchtime,
+		Benchtime:  strings.Join(benchtimes, ";"),
 		Results:    results,
 	}
 	outFile := filepath.Join(*dir, "BENCH_"+snap.Date+".json")
@@ -91,6 +142,16 @@ func main() {
 	prevFile, prev, err := latestSnapshot(*dir)
 	if err != nil {
 		log.Fatal(err)
+	}
+	// The gate only compares like-for-like: a snapshot taken with a
+	// different bench set, count or benchtime measured a different
+	// operating point (burst vs sustained load), so its numbers say
+	// nothing about a regression.
+	rebaseline := ""
+	if prev != nil && (prev.Bench != snap.Bench || prev.Count != snap.Count || prev.Benchtime != snap.Benchtime) {
+		rebaseline = fmt.Sprintf("settings changed vs %s (bench %q count %d benchtime %q -> bench %q count %d benchtime %q)",
+			filepath.Base(prevFile), prev.Bench, prev.Count, prev.Benchtime, snap.Bench, snap.Count, snap.Benchtime)
+		prev = nil
 	}
 
 	names := make([]string, 0, len(results))
@@ -120,22 +181,34 @@ func main() {
 		}
 	}
 
-	if !*dryRun {
+	// A failing gate must not replace the baseline it failed against:
+	// write the snapshot only when this run is a valid new trajectory
+	// point (clean, warn-only, or a [re-]baseline).
+	write := func() {
+		if *dryRun {
+			return
+		}
 		if err := writeSnapshot(outFile, snap); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("wrote %s\n", outFile)
 	}
 	switch {
+	case rebaseline != "":
+		write()
+		fmt.Printf("%s; trajectory baseline re-established (gate not applied)\n", rebaseline)
 	case prev == nil:
+		write()
 		fmt.Println("no previous snapshot; trajectory baseline established (gate not applied)")
 	case regressions == 0:
+		write()
 		fmt.Printf("trajectory vs %s: within %.0f%% tolerance\n", filepath.Base(prevFile), 100**tol)
 	case *warnOnly:
+		write()
 		fmt.Printf("WARNING: %d benchmark(s) regressed >%.0f%% vs %s (warn-only)\n",
 			regressions, 100**tol, filepath.Base(prevFile))
 	default:
-		log.Fatalf("%d benchmark(s) regressed >%.0f%% vs %s",
+		log.Fatalf("%d benchmark(s) regressed >%.0f%% vs %s (snapshot not written)",
 			regressions, 100**tol, filepath.Base(prevFile))
 	}
 }

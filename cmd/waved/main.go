@@ -21,6 +21,8 @@
 //	      [-cache 512] [-cache-shards 0] [-cache-file plans.json] [-full]
 //	      [-batch-limit 64] [-workers 4] [-queue-depth 64]
 //	      [-refine-budget 12] [-train-log dir] [-max-pipelines 16]
+//	      [-log-format text|json] [-slow-request 0] [-slow-job 0]
+//	      [-pprof-addr localhost:6060]
 //
 // Endpoints:
 //
@@ -36,8 +38,16 @@
 //	DELETE /v1/pipelines/{id}  cancel a pipeline; DELETE /v1/pipelines prunes finished records
 //	GET    /v1/apps            application catalog (names, tsize/dsize, parameter schemas)
 //	GET    /v1/systems         served systems and tuner states
-//	GET    /v1/stats           cache, job, pipeline and request counters
+//	GET    /v1/stats           cache, job, pipeline and request counters, latency quantiles
+//	GET    /metrics            the same counters in Prometheus text format
 //	GET    /healthz            liveness probe
+//
+// Observability: every request is logged as one structured line
+// (-log-format selects key=value text or JSON) stamped with an
+// X-Request-ID that is echoed in the response header, error bodies and
+// job records; requests or jobs slower than -slow-request / -slow-job
+// log their full trace-span tree; -pprof-addr serves net/http/pprof on
+// a side listener kept off the public API address.
 //
 // Named applications come from the registry (internal/apps, public
 // wavefront.RegisterApp); GET /v1/apps lists everything this daemon
@@ -53,6 +63,8 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -95,7 +107,16 @@ func main() {
 	refineBudget := flag.Int("refine-budget", 0, "probe budget per refine job (0 = default)")
 	trainLog := flag.String("train-log", "", "directory for refined jobs' measured observations (per-system CSVs for wavetrain -from)")
 	maxPipelines := flag.Int("max-pipelines", 0, "max concurrently active pipelines; overflow answers 429 (0 = default)")
+	logFormat := flag.String("log-format", "text", "log line encoding: text (key=value) or json")
+	slowRequest := flag.Duration("slow-request", 0, "log the trace-span tree of requests at least this slow (0 = off)")
+	slowJob := flag.Duration("slow-job", 0, "log the trace-span tree of jobs and pipelines at least this slow (0 = off)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this side address (e.g. localhost:6060; empty = off)")
 	flag.Parse()
+
+	format, err := wavefront.ParseLogFormat(*logFormat)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	cfg := wavefront.TuningConfig{
 		CacheSize:   *cacheSize,
@@ -108,8 +129,10 @@ func main() {
 			RefineBudget:   *refineBudget,
 			TrainingLogDir: *trainLog,
 			MaxPipelines:   *maxPipelines,
+			SlowJob:        *slowJob,
 		},
-		Logf: log.Printf,
+		Logger:      wavefront.NewStructuredLogger(os.Stderr, format),
+		SlowRequest: *slowRequest,
 	}
 	if *systems != "" {
 		for _, name := range strings.Split(*systems, ",") {
@@ -135,6 +158,24 @@ func main() {
 	srv, err := wavefront.NewTuningServer(cfg)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *pprofAddr != "" {
+		// pprof rides a side listener, never the public API address: the
+		// default ServeMux (which net/http/pprof registers on) is not
+		// used by the daemon, so a dedicated mux keeps this explicit.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on %s", *pprofAddr)
+			if perr := http.ListenAndServe(*pprofAddr, pm); perr != nil {
+				log.Printf("pprof server: %v", perr)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

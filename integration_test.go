@@ -26,6 +26,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/plan"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
 
 func TestFactoryWorkflowEndToEnd(t *testing.T) {
@@ -277,5 +278,143 @@ func TestPipelineOverHTTP(t *testing.T) {
 	}
 	if stats.Requests["pipelines"] == 0 {
 		t.Errorf("request counters = %+v", stats.Requests)
+	}
+}
+
+// TestMetricsScrapeEndToEnd boots the daemon, drives every traffic
+// class through it — tune hits and misses, a batch, jobs, a pipeline,
+// an error — and then scrapes GET /metrics, failing on any output the
+// strict exposition parser rejects and on missing instrumentation
+// (the CI scrape gate).
+func TestMetricsScrapeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test skipped in -short")
+	}
+	sys := hw.I7_2600K()
+	sr, err := core.Exhaustive(sys, core.QuickSpace(), core.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuner, err := core.Train(sr, core.DefaultTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := service.New(service.Config{
+		Systems: []hw.System{sys},
+		Tuners:  service.NewStaticSource(tuner),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(path, body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	drain := func(resp *http.Response) {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	// Tune miss then hit, a batch, and a rejected request.
+	drain(post("/v1/tune", `{"system":"i7-2600K","dim":500,"tsize":10,"dsize":1}`))
+	drain(post("/v1/tune", `{"system":"i7-2600K","dim":500,"tsize":10,"dsize":1}`))
+	drain(post("/v1/tune/batch", `{"system":"i7-2600K","items":[{"dim":700,"tsize":10,"dsize":1}]}`))
+	if resp := post("/v1/tune", `{"system":"riscv","dim":500,"tsize":10,"dsize":1}`); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("bad tune status %d, want 404", resp.StatusCode)
+	} else {
+		drain(resp)
+	}
+
+	// A job and a single-wave pipeline, run to completion so the
+	// queue-wait, execution, wave and engine histograms all observe.
+	resp := post("/v1/jobs", `{"system":"i7-2600K","dim":300,"tsize":10,"dsize":1}`)
+	var ji service.JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&ji); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		r, err := http.Get(ts.URL + "/v1/jobs/" + ji.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&ji); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if ji.State == "succeeded" || ji.State == "failed" || ji.State == "canceled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", ji.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	resp = post("/v1/pipelines", `{"system":"i7-2600K","waves":[{"jobs":[{"dim":300,"tsize":10,"dsize":1}]}]}`)
+	var pi service.PipelineInfo
+	if err := json.NewDecoder(resp.Body).Decode(&pi); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for {
+		r, err := http.Get(ts.URL + "/v1/pipelines/" + pi.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&pi); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if pi.State == "succeeded" || pi.State == "failed" || pi.State == "canceled" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pipeline stuck in %s", pi.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	r, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", r.StatusCode)
+	}
+	text, err := io.ReadAll(r.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidateExposition(bytes.NewReader(text)); err != nil {
+		t.Fatalf("unparseable exposition: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		`waved_http_requests_total{route="tune"}`,
+		`waved_http_errors_total{route="tune"} 1`,
+		`waved_cache_lookups_total{shard=`,
+		"waved_cache_lookup_duration_seconds_count",
+		"waved_tuner_predict_duration_seconds_count",
+		"waved_job_queue_wait_seconds_count 2",
+		"waved_job_execution_seconds_count 2",
+		"waved_pipeline_wave_seconds_count 1",
+		`waved_jobs_events_total{event="succeeded"} 2`,
+		"waved_pipeline_waves_resolved_total 1",
+		"waved_uptime_seconds",
+	} {
+		if !bytes.Contains(text, []byte(want)) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if bytes.Contains(text, []byte("waved_engine_measure_seconds_count 0")) {
+		t.Error("engine measurements not observed")
 	}
 }

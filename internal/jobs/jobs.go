@@ -33,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/plan"
+	"repro/internal/telemetry"
 	"repro/internal/tunecache"
 )
 
@@ -159,6 +160,11 @@ type Spec struct {
 	// Refine opts the job into online refinement around the cached
 	// prediction, with the measured outcome appended to the training log.
 	Refine bool
+	// RequestID carries the HTTP request ID that created the job, so a
+	// slow job in the records (or a training-log anomaly) is traceable
+	// back to its originating request. Informational; empty for jobs
+	// submitted outside the HTTP layer.
+	RequestID string
 }
 
 // Result is what a succeeded job produced.
@@ -282,6 +288,40 @@ type Config struct {
 	MaxPipelines int
 	// Logf receives job lifecycle log lines; nil disables logging.
 	Logf func(format string, args ...any)
+	// Metrics, when set, receives latency observations from the
+	// manager's hot paths (queue wait, execution, pipeline waves). Nil
+	// disables instrumentation at zero cost.
+	Metrics *Metrics
+	// SlowJob, when positive, logs the full span tree of any job whose
+	// execution (start to finish) exceeds it — the worker-pool analogue
+	// of the HTTP layer's slow-request threshold.
+	SlowJob time.Duration
+}
+
+// Metrics is the manager's telemetry hook block: histograms owned by
+// the daemon's registry that the manager feeds at event time. Any field
+// may be nil; all durations are observed in seconds.
+type Metrics struct {
+	// QueueWaitSec observes admission-to-start latency (how long jobs
+	// sat queued) — the congestion signal behind Retry-After.
+	QueueWaitSec *telemetry.Histogram
+	// ExecSec observes start-to-finish execution time per job.
+	ExecSec *telemetry.Histogram
+	// WaveSec observes pipeline wave durations: from the wave's first
+	// admission attempt (including any wait for queue space) to the
+	// resolution of its barrier, retry rounds included.
+	WaveSec *telemetry.Histogram
+	// EngineSec observes individual engine measurements (the modeled
+	// wavefront executions inside a job, including refine probes'
+	// final step accounting).
+	EngineSec *telemetry.Histogram
+}
+
+// observe is the nil-safe recording helper for optional histograms.
+func observe(h *telemetry.Histogram, d time.Duration) {
+	if h != nil {
+		h.Observe(d.Seconds())
+	}
 }
 
 // Defaults for the Config bounds.

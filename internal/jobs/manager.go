@@ -11,6 +11,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/hw"
+	"repro/internal/plan"
+	"repro/internal/telemetry"
 )
 
 // record is one job's mutable state. All fields except the immutable
@@ -531,6 +533,9 @@ func (m *Manager) next() *record {
 				rec.state = StateRunning
 				rec.started = time.Now()
 				m.running++
+				if m.cfg.Metrics != nil {
+					observe(m.cfg.Metrics.QueueWaitSec, rec.started.Sub(rec.created))
+				}
 				return rec
 			}
 		}
@@ -545,12 +550,36 @@ func (m *Manager) next() *record {
 	}
 }
 
-// run executes one job and records its outcome.
+// run executes one job and records its outcome. When slow-job logging
+// is on, the execution is wrapped in a job.execute span whose children
+// (plan fetch, engine measure, refinement) are opened inside execute
+// and jobs exceeding the SlowJob threshold log the whole tree; with it
+// off the spans are no-ops, keeping the throughput path allocation-free.
 func (m *Manager) run(rec *record) {
-	res, err := m.execute(rec)
+	startSpan := telemetry.StartSpan
+	if m.cfg.SlowJob > 0 {
+		startSpan = telemetry.StartRootSpan
+	}
+	ctx, span := startSpan(rec.ctx, "job.execute")
+	if span != nil {
+		span.Annotate("job_id", rec.id).
+			Annotate("system", rec.spec.System).
+			Annotate("priority", rec.spec.Priority)
+		if rec.spec.RequestID != "" {
+			span.Annotate("request_id", rec.spec.RequestID)
+		}
+	}
+	t0 := time.Now()
+	res, err := m.execute(ctx, rec)
+	span.End()
+	execDur := time.Since(t0)
+
 	var msg string
 	m.mu.Lock()
 	m.running--
+	if m.cfg.Metrics != nil {
+		observe(m.cfg.Metrics.ExecSec, execDur)
+	}
 	switch {
 	case err == nil:
 		// A completed execution wins over a cancellation that raced in
@@ -576,20 +605,38 @@ func (m *Manager) run(rec *record) {
 	}
 	m.mu.Unlock()
 	m.logf("%s", msg)
+	if m.cfg.SlowJob > 0 && execDur >= m.cfg.SlowJob {
+		m.logf("job %s slow (%.3fs >= %.3fs):\n%s",
+			rec.id, execDur.Seconds(), m.cfg.SlowJob.Seconds(), span.Render())
+	}
+}
+
+// measure runs one modeled engine execution, feeding its duration to
+// the EngineSec histogram (when configured) alongside the engine.measure
+// span MeasureStepsNsCtx attaches to ctx.
+func (m *Manager) measure(ctx context.Context, sys hw.System, inst plan.Instance, serial bool, par plan.Params) (float64, int, error) {
+	t0 := time.Now()
+	ns, steps, err := engine.MeasureStepsNsCtx(ctx, sys, inst, serial, par)
+	if m.cfg.Metrics != nil {
+		observe(m.cfg.Metrics.EngineSec, time.Since(t0))
+	}
+	return ns, steps, err
 }
 
 // execute runs the job body: fetch the tuned plan, optionally refine it
 // online, and measure the execution on the modeled system. The record's
 // context is checked between stages (and, during refinement, between
-// probes) for cooperative cancellation.
-func (m *Manager) execute(rec *record) (*Result, error) {
+// probes) for cooperative cancellation; ctx additionally carries the
+// job.execute span the stages below attach to.
+func (m *Manager) execute(ctx context.Context, rec *record) (*Result, error) {
 	spec := rec.spec
-	ctx := rec.ctx
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
+	_, fetchSpan := telemetry.StartSpan(ctx, "plan.fetch")
 	p, outcome, err := m.cfg.Plans(spec.System, spec.Inst)
+	fetchSpan.Annotate("outcome", outcome).End()
 	if err != nil {
 		return nil, fmt.Errorf("fetching plan: %w", err)
 	}
@@ -603,7 +650,7 @@ func (m *Manager) execute(rec *record) (*Result, error) {
 	sys := m.systems[spec.System]
 
 	if !spec.Refine {
-		ns, steps, err := engine.MeasureStepsNs(sys, spec.Inst, p.Serial, p.Par)
+		ns, steps, err := m.measure(ctx, sys, spec.Inst, p.Serial, p.Par)
 		if err != nil {
 			return nil, fmt.Errorf("executing: %w", err)
 		}
@@ -620,11 +667,14 @@ func (m *Manager) execute(rec *record) (*Result, error) {
 	// Refine the cached decision itself (no second offline predict), so
 	// the reported Cache/PredictedNs always describe the configuration
 	// the refinement actually started from.
-	pred, st, err := online.RefineDecisionContext(ctx, spec.Inst,
+	refineCtx, refineSpan := telemetry.StartSpan(ctx, "job.refine")
+	pred, st, err := online.RefineDecisionContext(refineCtx, spec.Inst,
 		core.Prediction{Serial: p.Serial, Par: p.Par}, p.SerialNs)
+	refineSpan.End()
 	if err != nil {
 		return nil, fmt.Errorf("refining: %w", err)
 	}
+	refineSpan.Annotate("probes", st.Probes)
 	res.Serial, res.Par = pred.Serial, pred.Par
 	res.MeasuredNs = st.FinalNs
 	res.Refine = &st
@@ -632,7 +682,7 @@ func (m *Manager) execute(rec *record) (*Result, error) {
 	// stays the refinement's own, only the schedule's step count is
 	// taken (a failure leaves Steps 0 = unknown rather than failing a
 	// job that already measured successfully).
-	if _, steps, serr := engine.MeasureStepsNs(sys, spec.Inst, pred.Serial, pred.Par); serr == nil {
+	if _, steps, serr := m.measure(ctx, sys, spec.Inst, pred.Serial, pred.Par); serr == nil {
 		res.Steps = steps
 	}
 

@@ -103,6 +103,11 @@ type PipelineSpec struct {
 	Name string
 	// Waves execute sequentially in declaration order.
 	Waves []WaveSpec
+	// RequestID carries the HTTP request ID that submitted the
+	// pipeline; it is stamped onto every wave job spec that does not
+	// already carry its own, so each executed job links back to the
+	// originating request. Informational; may be empty.
+	RequestID string
 }
 
 // MaxPipelineWaves bounds the waves of one pipeline; a longer chain is
@@ -314,6 +319,9 @@ type Pipeline struct {
 	Created, Started, Finished time.Time
 	// Waves are the per-wave records, one per spec wave.
 	Waves []PipelineWave
+	// RequestID echoes the spec's originating HTTP request ID (may be
+	// empty).
+	RequestID string
 }
 
 // PipelineFilter selects pipelines in ListPipelines.
@@ -355,7 +363,7 @@ func (m *Manager) validatePipeline(spec PipelineSpec) (PipelineSpec, error) {
 	if len(spec.Waves) > MaxPipelineWaves {
 		return spec, fmt.Errorf("jobs: pipeline has %d waves; the limit is %d", len(spec.Waves), MaxPipelineWaves)
 	}
-	norm := PipelineSpec{Name: spec.Name, Waves: make([]WaveSpec, len(spec.Waves))}
+	norm := PipelineSpec{Name: spec.Name, RequestID: spec.RequestID, Waves: make([]WaveSpec, len(spec.Waves))}
 	waveIdx := make(map[string]int, len(spec.Waves))
 	jobNames := make(map[string]string, 8)
 	for wi, w := range spec.Waves {
@@ -419,6 +427,9 @@ func (m *Manager) validatePipeline(spec PipelineSpec) (PipelineSpec, error) {
 				return spec, fmt.Errorf("jobs: job %q: refinement not configured (no tuner source)", pj.Name)
 			}
 			pj.Spec.AppParams = copyParams(pj.Spec.AppParams)
+			if pj.Spec.RequestID == "" {
+				pj.Spec.RequestID = spec.RequestID
+			}
 		}
 		norm.Waves[wi] = nw
 	}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sort"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // pipelineRecord is one pipeline's mutable state. All fields except the
@@ -56,7 +58,8 @@ func (p *pipelineRecord) snapshot() Pipeline {
 		ID: p.id, Name: p.spec.Name, State: p.state, Wave: p.waveIdx,
 		CancelRequested: p.cancelRequested, Err: p.err,
 		Created: p.created, Started: p.started, Finished: p.finished,
-		Waves: make([]PipelineWave, len(p.waves)),
+		Waves:     make([]PipelineWave, len(p.waves)),
+		RequestID: p.spec.RequestID,
 	}
 	for i, w := range p.waves {
 		ws := p.spec.Waves[i]
@@ -259,6 +262,31 @@ func (m *Manager) finishPipelineLocked(p *pipelineRecord, e PipelineEvent, errMs
 // wave admission.
 func (m *Manager) runPipeline(p *pipelineRecord) {
 	defer m.pwg.Done()
+	// The pipeline's span tree: one pipeline.run root with a
+	// pipeline.wave child per barrier interval. Wave durations (queue-
+	// space wait + execution + barrier) feed the WaveSec histogram; a
+	// pipeline outliving the SlowJob threshold logs the whole tree. The
+	// tree only materializes when SlowJob is set — nothing else reads
+	// it, so with slow-job logging off the spans stay nil no-ops.
+	startSpan := telemetry.StartSpan
+	if m.cfg.SlowJob > 0 {
+		startSpan = telemetry.StartRootSpan
+	}
+	spanCtx, pipeSpan := startSpan(context.Background(), "pipeline.run")
+	if pipeSpan != nil {
+		pipeSpan.Annotate("pipeline_id", p.id).Annotate("name", p.spec.Name)
+		if p.spec.RequestID != "" {
+			pipeSpan.Annotate("request_id", p.spec.RequestID)
+		}
+	}
+	t0 := time.Now()
+	defer func() {
+		pipeSpan.End()
+		if dur := time.Since(t0); m.cfg.SlowJob > 0 && dur >= m.cfg.SlowJob {
+			m.logf("pipeline %s slow (%.3fs >= %.3fs):\n%s",
+				p.id, dur.Seconds(), m.cfg.SlowJob.Seconds(), pipeSpan.Render())
+		}
+	}()
 	for wi := range p.spec.Waves {
 		m.mu.Lock()
 		if p.cancelRequested || m.abort {
@@ -277,7 +305,15 @@ func (m *Manager) runPipeline(p *pipelineRecord) {
 		m.logf("pipeline %s wave %d/%d (%s): %d job(s)",
 			p.id, wi+1, len(p.spec.Waves), p.spec.Waves[wi].Name, len(p.spec.Waves[wi].Jobs))
 
+		_, waveSpan := telemetry.StartSpan(spanCtx, "pipeline.wave")
+		waveSpan.Annotate("wave", p.spec.Waves[wi].Name).
+			Annotate("jobs", len(p.spec.Waves[wi].Jobs))
+		wt := time.Now()
 		ok, errMsg := m.runWave(p, wi)
+		waveSpan.End()
+		if m.cfg.Metrics != nil {
+			observe(m.cfg.Metrics.WaveSec, time.Since(wt))
+		}
 
 		m.mu.Lock()
 		if p.cancelRequested || m.abort {

@@ -12,6 +12,7 @@ import (
 	"net/http"
 
 	"repro/internal/apps"
+	"repro/internal/telemetry"
 )
 
 // AppParamInfo is the wire form of one application parameter spec.
@@ -85,6 +86,9 @@ func (s *Server) handleApps(w http.ResponseWriter, r *http.Request) {
 	infos := make([]AppInfo, 0, len(all))
 	for _, a := range all {
 		infos = append(infos, appInfo(a))
+	}
+	if span := telemetry.SpanFrom(r.Context()); span != nil {
+		span.Annotate("apps", len(infos))
 	}
 	s.writeJSON(w, http.StatusOK, map[string]any{"apps": infos, "count": len(infos)})
 }

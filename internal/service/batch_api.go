@@ -18,8 +18,10 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/plan"
+	"repro/internal/telemetry"
 	"repro/internal/tunecache"
 )
 
@@ -136,11 +138,23 @@ func (s *Server) handleTuneBatch(w http.ResponseWriter, r *http.Request) {
 	results := make(map[string]tuneKeyResult, len(insts))
 	var mu sync.Mutex
 	var wg sync.WaitGroup
+	reqCtx := r.Context()
 	for k, work := range insts {
 		wg.Add(1)
 		go func(k string, work tuneKeyWork) {
 			defer wg.Done()
-			p, outcome, err := s.cache.Get(work.system, work.inst)
+			// Each unique key gets its own cache.lookup span — a
+			// concurrent child of the request's http.request span — so
+			// a slow batch's trace shows which shard/key stalled it.
+			lctx, lookup := telemetry.StartSpan(reqCtx, "cache.lookup")
+			if lookup != nil {
+				lookup.Annotate("system", work.system).
+					Annotate("shard", s.cache.ShardIndex(work.system, work.inst))
+			}
+			t0 := time.Now()
+			p, outcome, err := s.cache.GetCtx(lctx, work.system, work.inst)
+			lookup.Annotate("outcome", outcome).End()
+			s.m.cacheLookupSec.Observe(time.Since(t0).Seconds())
 			mu.Lock()
 			results[k] = tuneKeyResult{plan: p, outcome: outcome, err: err}
 			mu.Unlock()
@@ -168,7 +182,7 @@ func (s *Server) handleTuneBatch(w http.ResponseWriter, r *http.Request) {
 	if resp.Errors > 0 {
 		// Per-item failures do not fail the batch, but they are request
 		// errors for the counters' purposes.
-		s.badReqs.Add(1)
+		s.m.errors["batch"].Inc()
 	}
 	s.logf("tune batch: %d items, %d unique keys, %d errors",
 		len(items), len(insts), resp.Errors)

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/telemetry"
 )
 
 // JobRequest is the body of POST /v1/jobs: the tune request describing
@@ -46,6 +47,9 @@ type JobInfo struct {
 	// that has not yet observed the cancellation.
 	CancelRequested bool   `json:"cancel_requested,omitempty"`
 	Error           string `json:"error,omitempty"`
+	// RequestID is the X-Request-ID of the submission that created the
+	// job, tying the record back to the request log and traces.
+	RequestID string `json:"request_id,omitempty"`
 
 	CreatedAt  time.Time  `json:"created_at"`
 	StartedAt  *time.Time `json:"started_at,omitempty"`
@@ -94,6 +98,7 @@ func jobInfo(j jobs.Job) JobInfo {
 		App:      j.App, AppParams: j.AppParams,
 		Priority: j.Priority.String(), Refine: j.Spec.Refine,
 		CancelRequested: j.CancelRequested, Error: j.Err,
+		RequestID: j.RequestID,
 		CreatedAt: j.Created,
 	}
 	if !j.Started.IsZero() {
@@ -187,6 +192,7 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	j, err := s.jobs.Submit(jobs.Spec{
 		System: req.System, Inst: inst, App: req.App, AppParams: appParams,
 		Priority: pri, Refine: req.Refine,
+		RequestID: telemetry.RequestIDFrom(r.Context()),
 	})
 	switch {
 	case errors.Is(err, jobs.ErrQueueFull):

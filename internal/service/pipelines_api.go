@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/telemetry"
 )
 
 // PipelineJobRequest is one job of a wave: the same body as
@@ -88,6 +89,9 @@ type PipelineInfo struct {
 	// that has not yet observed the cancellation.
 	CancelRequested bool   `json:"cancel_requested,omitempty"`
 	Error           string `json:"error,omitempty"`
+	// RequestID is the X-Request-ID of the submission that created the
+	// pipeline; its wave jobs inherit it unless they carry their own.
+	RequestID string `json:"request_id,omitempty"`
 
 	CreatedAt  time.Time  `json:"created_at"`
 	StartedAt  *time.Time `json:"started_at,omitempty"`
@@ -101,6 +105,7 @@ func pipelineInfo(p jobs.Pipeline) PipelineInfo {
 	info := PipelineInfo{
 		ID: p.ID, Name: p.Name, State: p.State.String(), Wave: p.Wave,
 		CancelRequested: p.CancelRequested, Error: p.Err,
+		RequestID: p.RequestID,
 		CreatedAt: p.Created,
 		Waves:     make([]PipelineWaveInfo, len(p.Waves)),
 	}
@@ -212,6 +217,10 @@ func (s *Server) handlePipelineSubmit(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// The manager stamps the pipeline's request ID onto every wave job
+	// that does not carry its own, so each spawned job record traces
+	// back to this submission.
+	spec.RequestID = telemetry.RequestIDFrom(r.Context())
 
 	p, err := s.jobs.SubmitPipeline(spec)
 	switch {

@@ -32,8 +32,13 @@
 //	DELETE /v1/pipelines       prune finished pipeline records
 //	GET    /v1/apps            list the application catalog (names, granularity, params)
 //	GET    /v1/systems         list the served systems and tuner states
-//	GET    /v1/stats           cache, job, pipeline and request counters, uptime
+//	GET    /v1/stats           cache, job, pipeline and request counters, uptime, latency quantiles
+//	GET    /metrics            the same counters in Prometheus text format
 //	GET    /healthz            liveness probe
+//
+// Every response carries an X-Request-ID header (generated, or echoed
+// from the request); error bodies repeat it, and slow requests (see
+// Config.SlowRequest) log their full trace-span tree under it.
 package service
 
 import (
@@ -47,7 +52,6 @@ import (
 	"net/http"
 	"os"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/apps"
@@ -55,6 +59,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/jobs"
 	"repro/internal/plan"
+	"repro/internal/telemetry"
 	"repro/internal/tunecache"
 )
 
@@ -85,7 +90,15 @@ type Config struct {
 	// selects the jobs package defaults.
 	Jobs JobOptions
 	// Logf receives request-path log lines; nil disables logging.
+	// Ignored when Logger is set.
 	Logf func(format string, args ...any)
+	// Logger, when set, receives one structured line per request from
+	// the telemetry middleware, and the daemon's printf-style log lines
+	// through its Logf bridge (taking precedence over Logf).
+	Logger *telemetry.Logger
+	// SlowRequest, when positive, logs the full trace-span tree of any
+	// request whose end-to-end latency reaches it.
+	SlowRequest time.Duration
 }
 
 // JobOptions is the service-level slice of jobs.Config: the bounds of
@@ -110,6 +123,10 @@ type JobOptions struct {
 	// submissions are rejected with 429 (<= 0 selects the jobs
 	// default).
 	MaxPipelines int
+	// SlowJob, when positive, logs the full trace-span tree of any job
+	// whose execution reaches it (and of any pipeline slower than it) —
+	// the worker-pool analogue of Config.SlowRequest.
+	SlowJob time.Duration
 }
 
 // Server is the tuning daemon: an http.Handler plus the plan cache and
@@ -122,21 +139,25 @@ type Server struct {
 	jobs     *jobs.Manager
 	trainLog *core.ObservationLog
 	mux      *http.ServeMux
+	handler  http.Handler
 	start    time.Time
 
 	httpMu   sync.Mutex
 	httpSrv  *http.Server
 	shutDown bool
 
-	tuneReqs   atomic.Uint64
-	batchReqs  atomic.Uint64
-	jobReqs    atomic.Uint64
-	pipeReqs   atomic.Uint64
-	appsReqs   atomic.Uint64
-	statsReqs  atomic.Uint64
-	sysReqs    atomic.Uint64
-	healthReqs atomic.Uint64
-	badReqs    atomic.Uint64
+	// m is the telemetry registry plus every pre-resolved series handle;
+	// the per-route counters below alias m.requests so the historical
+	// handler-level increment sites keep working verbatim.
+	m          *serverMetrics
+	tuneReqs   *telemetry.Counter
+	batchReqs  *telemetry.Counter
+	jobReqs    *telemetry.Counter
+	pipeReqs   *telemetry.Counter
+	appsReqs   *telemetry.Counter
+	statsReqs  *telemetry.Counter
+	sysReqs    *telemetry.Counter
+	healthReqs *telemetry.Counter
 }
 
 // New builds a server from cfg.
@@ -152,7 +173,16 @@ func New(cfg Config) (*Server, error) {
 		systems: make(map[string]hw.System, len(cfg.Systems)),
 		tuners:  cfg.Tuners,
 		start:   time.Now(),
+		m:       newServerMetrics(),
 	}
+	s.tuneReqs = s.m.requests["tune"]
+	s.batchReqs = s.m.requests["batch"]
+	s.jobReqs = s.m.requests["jobs"]
+	s.pipeReqs = s.m.requests["pipelines"]
+	s.appsReqs = s.m.requests["apps"]
+	s.statsReqs = s.m.requests["stats"]
+	s.sysReqs = s.m.requests["systems"]
+	s.healthReqs = s.m.requests["healthz"]
 	for _, sys := range cfg.Systems {
 		if sys.Name == "" {
 			return nil, fmt.Errorf("service: system with empty name")
@@ -162,7 +192,7 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.systems[sys.Name] = sys
 	}
-	s.cache = tunecache.NewSharded(cfg.CacheSize, cfg.CacheShards, s.predict)
+	s.cache = tunecache.NewShardedCtx(cfg.CacheSize, cfg.CacheShards, s.predict)
 	if cfg.CachePath != "" {
 		if n, err := s.cache.LoadFile(cfg.CachePath); err == nil {
 			s.logf("warmed cache with %d plans from %s", n, cfg.CachePath)
@@ -196,7 +226,9 @@ func New(cfg Config) (*Server, error) {
 		TrainingLog:  s.trainLog,
 		MaxRecords:   cfg.Jobs.MaxRecords,
 		MaxPipelines: cfg.Jobs.MaxPipelines,
-		Logf:         cfg.Logf,
+		Logf:         s.logf,
+		Metrics:      s.m.jobs,
+		SlowJob:      cfg.Jobs.SlowJob,
 	})
 	if err != nil {
 		if s.trainLog != nil {
@@ -215,10 +247,17 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/systems", s.handleSystems)
 	s.mux.HandleFunc("/v1/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.Handle("/metrics", s.m.reg.Handler())
+	s.registerCollectors()
+	s.handler = s.withTelemetry(s.mux)
 	return s, nil
 }
 
 func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Logf(format, args...)
+		return
+	}
 	if s.cfg.Logf != nil {
 		s.cfg.Logf(format, args...)
 	}
@@ -230,13 +269,22 @@ func (s *Server) Cache() *tunecache.Cache { return s.cache }
 // Jobs returns the asynchronous job manager behind /v1/jobs.
 func (s *Server) Jobs() *jobs.Manager { return s.jobs }
 
-// Handler returns the HTTP handler tree, for mounting under httptest or a
+// Telemetry returns the metrics registry behind GET /metrics and the
+// telemetry block of GET /v1/stats.
+func (s *Server) Telemetry() *telemetry.Registry { return s.m.reg }
+
+// Handler returns the HTTP handler tree — the routing mux wrapped in
+// the telemetry middleware — for mounting under httptest or a
 // caller-owned http.Server.
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // predict is the cache's miss path: resolve the system's tuner (loading
-// or training it on first use) and evaluate it once.
-func (s *Server) predict(system string, inst plan.Instance) (tunecache.Plan, error) {
+// or training it on first use) and evaluate it once. ctx carries the
+// leading caller's trace span on the HTTP tune path (GetCtx), so the
+// evaluation shows up under that request's cache.lookup span; the
+// histogram times only the model evaluation, keeping one-time lazy
+// tuner training out of the predict latency series.
+func (s *Server) predict(ctx context.Context, system string, inst plan.Instance) (tunecache.Plan, error) {
 	sys, ok := s.systems[system]
 	if !ok {
 		return tunecache.Plan{}, fmt.Errorf("service: unknown system %q", system)
@@ -245,7 +293,15 @@ func (s *Server) predict(system string, inst plan.Instance) (tunecache.Plan, err
 	if err != nil {
 		return tunecache.Plan{}, fmt.Errorf("service: tuner for %s: %w", system, err)
 	}
+	_, span := telemetry.StartSpan(ctx, "tuner.predict")
+	span.Annotate("system", system)
+	// Timed directly: the span is nil when the lookup came in without a
+	// trace root (the job manager's plan fetches), and the histogram
+	// must observe real durations either way.
+	t0 := time.Now()
 	pred, rtime, serial, err := t.PredictTimed(inst)
+	span.End()
+	s.m.predictSec.Observe(time.Since(t0).Seconds())
 	if err != nil {
 		return tunecache.Plan{}, err
 	}
@@ -309,9 +365,12 @@ type TuneResponse struct {
 	Cache string `json:"cache"`
 }
 
-// errorResponse is the body of every non-2xx reply.
+// errorResponse is the body of every non-2xx reply. RequestID echoes
+// the X-Request-ID header so a failure pasted into a bug report can be
+// matched against the request log and traces.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
@@ -323,8 +382,15 @@ func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func (s *Server) writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	s.badReqs.Add(1)
-	s.writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+	resp := errorResponse{Error: fmt.Sprintf(format, args...)}
+	// The middleware's wrapper carries the route and request ID; a
+	// handler invoked bare (unit tests) counts under "other".
+	route := "other"
+	if sw, ok := w.(*statusWriter); ok {
+		route, resp.RequestID = sw.route, sw.requestID
+	}
+	s.m.errors[route].Inc()
+	s.writeJSON(w, code, resp)
 }
 
 // checkJSONBody enforces content-type hygiene on endpoints that decode
@@ -493,7 +559,15 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	p, outcome, err := s.cache.Get(req.System, inst)
+	lctx, lookup := telemetry.StartSpan(r.Context(), "cache.lookup")
+	if lookup != nil {
+		lookup.Annotate("system", req.System).
+			Annotate("shard", s.cache.ShardIndex(req.System, inst))
+	}
+	t0 := time.Now()
+	p, outcome, err := s.cache.GetCtx(lctx, req.System, inst)
+	lookup.Annotate("outcome", outcome).End()
+	s.m.cacheLookupSec.Observe(time.Since(t0).Seconds())
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, "tuning failed: %v", err)
 		return
@@ -570,6 +644,9 @@ type StatsResponse struct {
 	Jobs          jobs.Stats                 `json:"jobs"`
 	Pipelines     jobs.PipelineStats         `json:"pipelines"`
 	Requests      map[string]uint64          `json:"requests"`
+	// Telemetry renders the same registry GET /metrics scrapes:
+	// per-route request/error counts and latency quantiles.
+	Telemetry TelemetrySnapshot `json:"telemetry"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -586,16 +663,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Jobs:          s.jobs.Stats(),
 		Pipelines:     s.jobs.PipelineStats(),
 		Requests: map[string]uint64{
-			"tune":      s.tuneReqs.Load(),
-			"batch":     s.batchReqs.Load(),
-			"jobs":      s.jobReqs.Load(),
-			"pipelines": s.pipeReqs.Load(),
-			"apps":      s.appsReqs.Load(),
-			"systems":   s.sysReqs.Load(),
-			"stats":     s.statsReqs.Load(),
-			"healthz":   s.healthReqs.Load(),
-			"errors":    s.badReqs.Load(),
+			"tune":      s.tuneReqs.Value(),
+			"batch":     s.batchReqs.Value(),
+			"jobs":      s.jobReqs.Value(),
+			"pipelines": s.pipeReqs.Value(),
+			"apps":      s.appsReqs.Value(),
+			"systems":   s.sysReqs.Value(),
+			"stats":     s.statsReqs.Value(),
+			"healthz":   s.healthReqs.Value(),
+			"errors":    s.m.errorsVec.Total(),
 		},
+		Telemetry: s.telemetrySnapshot(),
 	})
 }
 
@@ -617,7 +695,7 @@ func (s *Server) ListenAndServe(addr string) error {
 
 // Serve serves on l until Shutdown.
 func (s *Server) Serve(l net.Listener) error {
-	srv := &http.Server{Handler: s.mux}
+	srv := &http.Server{Handler: s.handler}
 	s.httpMu.Lock()
 	if s.shutDown {
 		// Shutdown already ran (e.g. a signal raced ahead of the serve

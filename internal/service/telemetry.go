@@ -1,0 +1,328 @@
+package service
+
+// The daemon's observability layer: one telemetry.Registry is the
+// single source of truth behind both GET /metrics (Prometheus text
+// format) and the telemetry block of GET /v1/stats. The middleware
+// below wraps the whole mux — it stamps a request ID into the context,
+// response header and error bodies, opens the http.request trace span
+// the handlers chain children onto (cache.lookup → tuner.predict on
+// the tune path), counts every response by route and status code, and
+// feeds the per-route latency histograms from the span's duration.
+// Subsystems that keep their own counters (cache shards, job queues,
+// pipelines) surface through scrape-time collectors instead of being
+// counted twice.
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/telemetry"
+)
+
+// routeNames are the route label values of the HTTP metric families,
+// pre-registered so every route appears on /metrics from the first
+// scrape and the label space stays bounded no matter what paths are
+// probed.
+var routeNames = []string{
+	"tune", "batch", "jobs", "pipelines", "apps",
+	"systems", "stats", "healthz", "metrics", "other",
+}
+
+// routeOf maps a request path onto its route label. Unknown paths
+// collapse into "other" so arbitrary probes cannot mint new series.
+func routeOf(path string) string {
+	switch {
+	case path == "/v1/tune":
+		return "tune"
+	case path == "/v1/tune/batch":
+		return "batch"
+	case path == "/v1/jobs" || strings.HasPrefix(path, "/v1/jobs/"):
+		return "jobs"
+	case path == "/v1/pipelines" || strings.HasPrefix(path, "/v1/pipelines/"):
+		return "pipelines"
+	case path == "/v1/apps":
+		return "apps"
+	case path == "/v1/systems":
+		return "systems"
+	case path == "/v1/stats":
+		return "stats"
+	case path == "/healthz":
+		return "healthz"
+	case path == "/metrics":
+		return "metrics"
+	}
+	return "other"
+}
+
+// serverMetrics is the server's handle block into its registry: every
+// series the request paths touch is resolved once at construction, so
+// handling a request never takes a registry family lock.
+type serverMetrics struct {
+	reg *telemetry.Registry
+
+	// Per-route handled-request and error counters — the same handles
+	// /v1/stats has always reported — plus the middleware-level views:
+	// responses by route and status code, the in-flight gauge and the
+	// per-route latency histograms.
+	requests  map[string]*telemetry.Counter
+	errors    map[string]*telemetry.Counter
+	errorsVec *telemetry.CounterVec
+	latency   map[string]*telemetry.Histogram
+	responses *telemetry.CounterVec
+	inflight  *telemetry.Gauge
+
+	// Stage histograms of the tune hot path, fed by span durations.
+	cacheLookupSec *telemetry.Histogram
+	predictSec     *telemetry.Histogram
+
+	// jobs holds the histograms the job manager feeds (queue wait,
+	// execution, pipeline waves, engine measurements).
+	jobs *jobs.Metrics
+}
+
+// newServerMetrics builds the registry and registers every stored
+// family. Collectors for subsystem counters are added separately
+// (registerCollectors) once the subsystems exist.
+func newServerMetrics() *serverMetrics {
+	reg := telemetry.NewRegistry()
+	m := &serverMetrics{
+		reg:      reg,
+		requests: make(map[string]*telemetry.Counter, len(routeNames)),
+		errors:   make(map[string]*telemetry.Counter, len(routeNames)),
+		latency:  make(map[string]*telemetry.Histogram, len(routeNames)),
+		errorsVec: reg.CounterVec("waved_http_errors_total",
+			"Error responses written, by route.", "route"),
+		responses: reg.CounterVec("waved_http_responses_total",
+			"HTTP responses, by route and status code.", "route", "code"),
+		inflight: reg.Gauge("waved_http_inflight_requests",
+			"Requests currently being served."),
+		cacheLookupSec: reg.Histogram("waved_cache_lookup_duration_seconds",
+			"Plan-cache lookup latency on the tune path (resident hit through full predict).", nil),
+		predictSec: reg.Histogram("waved_tuner_predict_duration_seconds",
+			"Tuner model evaluation latency on cache misses.", nil),
+		jobs: &jobs.Metrics{
+			QueueWaitSec: reg.Histogram("waved_job_queue_wait_seconds",
+				"Job admission-to-start latency (time spent queued).", nil),
+			ExecSec: reg.Histogram("waved_job_execution_seconds",
+				"Job execution time, start to finish.", nil),
+			WaveSec: reg.Histogram("waved_pipeline_wave_seconds",
+				"Pipeline wave duration, first admission to barrier resolution.", nil),
+			EngineSec: reg.Histogram("waved_engine_measure_seconds",
+				"Modeled engine executions inside jobs.", nil),
+		},
+	}
+	reqVec := reg.CounterVec("waved_http_requests_total",
+		"Requests handled, by route (counted inside the handler, like /v1/stats).", "route")
+	latVec := reg.HistogramVec("waved_http_request_duration_seconds",
+		"End-to-end request latency, by route.", nil, "route")
+	for _, r := range routeNames {
+		m.requests[r] = reqVec.With(r)
+		m.errors[r] = m.errorsVec.With(r)
+		m.latency[r] = latVec.With(r)
+	}
+	return m
+}
+
+// registerCollectors surfaces the subsystem-owned counters (cache
+// shards, job queue, pipelines, uptime) as scrape-time callbacks, so
+// /metrics renders them from the same source of truth /v1/stats reads
+// instead of maintaining parallel counts. Called once from New, after
+// the cache and job manager exist.
+func (s *Server) registerCollectors() {
+	reg := s.m.reg
+	reg.CollectFunc("waved_uptime_seconds", "Seconds since the server started.",
+		telemetry.TypeGauge, nil, func(emit telemetry.Emit) {
+			emit(time.Since(s.start).Seconds())
+		})
+	reg.CollectFunc("waved_cache_lookups_total", "Plan-cache lookups, by shard and outcome.",
+		telemetry.TypeCounter, []string{"shard", "outcome"}, func(emit telemetry.Emit) {
+			for i, st := range s.cache.ShardStats() {
+				sh := strconv.Itoa(i)
+				emit(float64(st.Hits), sh, "hit")
+				emit(float64(st.Misses), sh, "miss")
+				emit(float64(st.Coalesced), sh, "coalesced")
+			}
+		})
+	reg.CollectFunc("waved_cache_evictions_total", "Plan-cache LRU evictions, by shard.",
+		telemetry.TypeCounter, []string{"shard"}, func(emit telemetry.Emit) {
+			for i, st := range s.cache.ShardStats() {
+				emit(float64(st.Evictions), strconv.Itoa(i))
+			}
+		})
+	reg.CollectFunc("waved_cache_predict_errors_total", "Failed predict fills, by shard.",
+		telemetry.TypeCounter, []string{"shard"}, func(emit telemetry.Emit) {
+			for i, st := range s.cache.ShardStats() {
+				emit(float64(st.Errors), strconv.Itoa(i))
+			}
+		})
+	reg.CollectFunc("waved_cache_entries", "Resident plans, by shard.",
+		telemetry.TypeGauge, []string{"shard"}, func(emit telemetry.Emit) {
+			for i, st := range s.cache.ShardStats() {
+				emit(float64(st.Size), strconv.Itoa(i))
+			}
+		})
+	reg.CollectFunc("waved_jobs_events_total", "Job lifecycle events, by event.",
+		telemetry.TypeCounter, []string{"event"}, func(emit telemetry.Emit) {
+			st := s.jobs.Stats()
+			emit(float64(st.Submitted), "submitted")
+			emit(float64(st.Rejected), "rejected")
+			emit(float64(st.Succeeded), "succeeded")
+			emit(float64(st.Failed), "failed")
+			emit(float64(st.Canceled), "canceled")
+			emit(float64(st.Refined), "refined")
+		})
+	reg.CollectFunc("waved_job_queue_depth", "Jobs admitted and waiting for a worker.",
+		telemetry.TypeGauge, nil, func(emit telemetry.Emit) {
+			emit(float64(s.jobs.Stats().Queued))
+		})
+	reg.CollectFunc("waved_jobs_running", "Jobs currently executing on workers.",
+		telemetry.TypeGauge, nil, func(emit telemetry.Emit) {
+			emit(float64(s.jobs.Stats().Running))
+		})
+	reg.CollectFunc("waved_training_rows_total", "Observations appended to the training log.",
+		telemetry.TypeCounter, nil, func(emit telemetry.Emit) {
+			emit(float64(s.jobs.Stats().TrainingRows))
+		})
+	reg.CollectFunc("waved_pipelines_events_total", "Pipeline lifecycle events, by event.",
+		telemetry.TypeCounter, []string{"event"}, func(emit telemetry.Emit) {
+			st := s.jobs.PipelineStats()
+			emit(float64(st.Submitted), "submitted")
+			emit(float64(st.Rejected), "rejected")
+			emit(float64(st.Succeeded), "succeeded")
+			emit(float64(st.Failed), "failed")
+			emit(float64(st.Canceled), "canceled")
+		})
+	reg.CollectFunc("waved_pipelines_active", "Pipelines currently in a non-terminal state.",
+		telemetry.TypeGauge, nil, func(emit telemetry.Emit) {
+			emit(float64(s.jobs.PipelineStats().Active))
+		})
+	reg.CollectFunc("waved_pipeline_waves_resolved_total", "Pipeline waves that passed their barrier.",
+		telemetry.TypeCounter, nil, func(emit telemetry.Emit) {
+			emit(float64(s.jobs.PipelineStats().WavesResolved))
+		})
+	reg.CollectFunc("waved_pipeline_job_retries_total", "Failed-job resubmissions spent by retry policies.",
+		telemetry.TypeCounter, nil, func(emit telemetry.Emit) {
+			emit(float64(s.jobs.PipelineStats().JobRetries))
+		})
+}
+
+// statusWriter wraps the ResponseWriter handed to handlers: it captures
+// the status code for the response counters and carries the request's
+// ID and route label, which writeError folds into error bodies and the
+// error counters without changing its call sites.
+type statusWriter struct {
+	http.ResponseWriter
+	route     string
+	requestID string
+	status    int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards streaming support the wrapper would otherwise hide.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// withTelemetry is the outermost middleware: request ID, http.request
+// span, in-flight gauge, latency and response series, the structured
+// request log line, and the slow-request span-tree dump.
+func (s *Server) withTelemetry(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := routeOf(r.URL.Path)
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = telemetry.NewRequestID()
+		}
+		ctx := telemetry.WithRequestID(r.Context(), id)
+		ctx, span := telemetry.StartRootSpan(ctx, "http.request")
+		span.Annotate("route", route).Annotate("method", r.Method).
+			Annotate("path", r.URL.Path).Annotate("request_id", id)
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w, route: route, requestID: id}
+
+		s.m.inflight.Add(1)
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		s.m.inflight.Add(-1)
+
+		dur := span.End()
+		status := sw.status
+		if status == 0 {
+			// The handler never wrote (e.g. a 200 with an empty body
+			// via implicit WriteHeader on hijack-free completion).
+			status = http.StatusOK
+		}
+		span.Annotate("status", status)
+		s.m.latency[route].Observe(dur.Seconds())
+		s.m.responses.With(route, strconv.Itoa(status)).Inc()
+		if lg := s.cfg.Logger; lg != nil {
+			lg.Log("request", "request_id", id, "route", route,
+				"method", r.Method, "path", r.URL.Path,
+				"status", status, "dur", dur)
+		}
+		if s.cfg.SlowRequest > 0 && dur >= s.cfg.SlowRequest {
+			s.logf("slow request %s %s %s (%.3fs >= %.3fs):\n%s",
+				id, r.Method, r.URL.Path, dur.Seconds(),
+				s.cfg.SlowRequest.Seconds(), span.Render())
+		}
+	})
+}
+
+// RouteTelemetry is one route's registry-backed counters in GET
+// /v1/stats: handled requests and error responses (the handler-level
+// counters), plus the count and latency quantiles of the route's
+// middleware-level duration histogram.
+type RouteTelemetry struct {
+	Requests uint64  `json:"requests"`
+	Errors   uint64  `json:"errors,omitempty"`
+	Observed uint64  `json:"observed"`
+	P50Sec   float64 `json:"p50_sec"`
+	P95Sec   float64 `json:"p95_sec"`
+	P99Sec   float64 `json:"p99_sec"`
+}
+
+// TelemetrySnapshot is the /v1/stats rendering of the same registry
+// GET /metrics scrapes — one source of truth, two formats.
+type TelemetrySnapshot struct {
+	UptimeSec float64                   `json:"uptime_sec"`
+	InFlight  int64                     `json:"in_flight"`
+	Routes    map[string]RouteTelemetry `json:"routes"`
+}
+
+// telemetrySnapshot renders the per-route counters and quantiles.
+func (s *Server) telemetrySnapshot() TelemetrySnapshot {
+	snap := TelemetrySnapshot{
+		UptimeSec: time.Since(s.start).Seconds(),
+		InFlight:  s.m.inflight.Value(),
+		Routes:    make(map[string]RouteTelemetry, len(routeNames)),
+	}
+	for _, r := range routeNames {
+		h := s.m.latency[r].Snapshot()
+		snap.Routes[r] = RouteTelemetry{
+			Requests: s.m.requests[r].Value(),
+			Errors:   s.m.errors[r].Value(),
+			Observed: h.Count,
+			P50Sec:   h.P50Sec,
+			P95Sec:   h.P95Sec,
+			P99Sec:   h.P99Sec,
+		}
+	}
+	return snap
+}

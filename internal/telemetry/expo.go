@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (version 0.0.4): families sorted by name, each preceded by
+// its # HELP and # TYPE lines, histogram series expanded into
+// cumulative _bucket{le=...} plus _sum and _count. Output is fully
+// deterministic given the same metric state, which the format tests
+// rely on.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	r.mu.RUnlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		if err := f.write(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler serving the exposition, suitable for
+// mounting at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if req.Method == http.MethodHead {
+			return
+		}
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// sample is one rendered series within a family.
+type sample struct {
+	labelValues []string
+	value       float64
+	hist        *Histogram
+}
+
+// write renders one family.
+func (f *family) write(w *bufio.Writer) error {
+	// A labelled family with no series yet still advertises its
+	// HELP/TYPE pair so dashboards can discover it before traffic.
+	samples := f.samples()
+	fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+	for _, s := range samples {
+		if f.typ == TypeHistogram {
+			writeHistogram(w, f.name, f.labels, s.labelValues, s.hist)
+			continue
+		}
+		fmt.Fprintf(w, "%s%s %s\n", f.name, labelString(f.labels, s.labelValues, "", 0), formatValue(s.value))
+	}
+	return nil
+}
+
+// samples collects the family's current series, sorted by label values
+// for deterministic output. Callback families run their collector.
+func (f *family) samples() []sample {
+	var out []sample
+	if f.collect != nil {
+		f.collect(func(value float64, labelValues ...string) {
+			if len(labelValues) != len(f.labels) {
+				panic(fmt.Sprintf("telemetry: collector for %q emitted %d label values, want %d",
+					f.name, len(labelValues), len(f.labels)))
+			}
+			out = append(out, sample{labelValues: labelValues, value: value})
+		})
+	} else {
+		f.mu.Lock()
+		for key, m := range f.series {
+			s := sample{labelValues: splitLabelKey(key)}
+			switch v := m.(type) {
+			case *Counter:
+				s.value = float64(v.Value())
+			case *Gauge:
+				s.value = float64(v.Value())
+			case *Histogram:
+				s.hist = v
+			}
+			out = append(out, s)
+		}
+		f.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return labelKey(out[i].labelValues) < labelKey(out[j].labelValues)
+	})
+	return out
+}
+
+// writeHistogram expands one histogram series into its cumulative
+// bucket lines plus _sum and _count.
+func writeHistogram(w *bufio.Writer, name string, labels, values []string, h *Histogram) {
+	var cum uint64
+	for i, bound := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name,
+			labelString(labels, values, "le", bound), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket%s %d\n", name,
+		labelString(labels, values, "le", infBound), cum)
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, labelString(labels, values, "", 0), formatValue(h.Sum()))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, labelString(labels, values, "", 0), cum)
+}
+
+// infBound marks the +Inf bucket for labelString.
+const infBound = -1
+
+// labelString renders {k="v",...}, optionally appending an le bucket
+// label (bound >= 0, or infBound for +Inf). Returns "" when there are
+// no labels at all.
+func labelString(labels, values []string, le string, bound float64) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(values[i]))
+		b.WriteByte('"')
+	}
+	if le != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(le)
+		b.WriteString(`="`)
+		if bound == infBound {
+			b.WriteString("+Inf")
+		} else {
+			b.WriteString(formatValue(bound))
+		}
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// buildTestRegistry populates one of every family kind.
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("waved_test_total", "plain counter").Add(3)
+	r.Gauge("waved_test_inflight", "plain gauge").Set(2)
+	v := r.CounterVec("waved_test_routes_total", "per-route counter", "route")
+	v.With("tune").Add(5)
+	v.With("batch").Inc()
+	h := r.Histogram("waved_test_seconds", "latency", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(7)
+	hv := r.HistogramVec("waved_test_route_seconds", "per-route latency", []float64{0.01, 0.1}, "route")
+	hv.With("tune").Observe(0.005)
+	r.CollectFunc("waved_test_shard_hits_total", "per-shard hits", TypeCounter,
+		[]string{"shard"}, func(emit Emit) {
+			emit(10, "0")
+			emit(20, "1")
+		})
+	return r
+}
+
+func TestExpositionValidates(t *testing.T) {
+	r := buildTestRegistry()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateExposition(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("exposition failed strict validation: %v\n%s", err, b.String())
+	}
+}
+
+func TestExpositionContent(t *testing.T) {
+	r := buildTestRegistry()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP waved_test_total plain counter",
+		"# TYPE waved_test_total counter",
+		"waved_test_total 3",
+		"# TYPE waved_test_inflight gauge",
+		"waved_test_inflight 2",
+		`waved_test_routes_total{route="batch"} 1`,
+		`waved_test_routes_total{route="tune"} 5`,
+		"# TYPE waved_test_seconds histogram",
+		`waved_test_seconds_bucket{le="0.001"} 1`,
+		`waved_test_seconds_bucket{le="0.01"} 1`,
+		`waved_test_seconds_bucket{le="0.1"} 2`,
+		`waved_test_seconds_bucket{le="+Inf"} 3`,
+		"waved_test_seconds_count 3",
+		`waved_test_route_seconds_bucket{route="tune",le="+Inf"} 1`,
+		`waved_test_shard_hits_total{shard="0"} 10`,
+		`waved_test_shard_hits_total{shard="1"} 20`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing line %q", want)
+		}
+	}
+	// Deterministic: a second render must be byte-identical.
+	var b2 strings.Builder
+	if err := r.WritePrometheus(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if out != b2.String() {
+		t.Error("exposition output is not deterministic")
+	}
+}
+
+func TestExpositionHELPTYPEPairsAndNoDuplicates(t *testing.T) {
+	r := buildTestRegistry()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	seenSeries := map[string]bool{}
+	var lastHelp string
+	for _, line := range lines {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			lastHelp = strings.Fields(line)[2]
+		case strings.HasPrefix(line, "# TYPE "):
+			name := strings.Fields(line)[2]
+			if name != lastHelp {
+				t.Fatalf("TYPE %s not immediately after its HELP (last HELP %s)", name, lastHelp)
+			}
+		default:
+			key := strings.SplitN(line, " ", 2)[0] // name{labels}
+			if seenSeries[key] {
+				t.Fatalf("duplicate series %q", key)
+			}
+			seenSeries[key] = true
+		}
+	}
+}
+
+func TestValidatorCatchesBrokenExpositions(t *testing.T) {
+	cases := map[string]string{
+		"sample without HELP/TYPE": "waved_x_total 1\n",
+		"TYPE without HELP":        "# TYPE waved_x_total counter\nwaved_x_total 1\n",
+		"duplicate series": "# HELP waved_x_total h\n# TYPE waved_x_total counter\n" +
+			"waved_x_total 1\nwaved_x_total 2\n",
+		"non-monotonic buckets": "# HELP waved_h_seconds h\n# TYPE waved_h_seconds histogram\n" +
+			`waved_h_seconds_bucket{le="0.1"} 5` + "\n" +
+			`waved_h_seconds_bucket{le="1"} 3` + "\n" +
+			`waved_h_seconds_bucket{le="+Inf"} 5` + "\n" +
+			"waved_h_seconds_sum 1\nwaved_h_seconds_count 5\n",
+		"missing +Inf bucket": "# HELP waved_h_seconds h\n# TYPE waved_h_seconds histogram\n" +
+			`waved_h_seconds_bucket{le="0.1"} 5` + "\n" +
+			"waved_h_seconds_sum 1\nwaved_h_seconds_count 5\n",
+		"count disagrees with +Inf": "# HELP waved_h_seconds h\n# TYPE waved_h_seconds histogram\n" +
+			`waved_h_seconds_bucket{le="+Inf"} 5` + "\n" +
+			"waved_h_seconds_sum 1\nwaved_h_seconds_count 4\n",
+		"bad metric name": "# HELP 0bad h\n# TYPE 0bad counter\n0bad 1\n",
+		"empty":           "",
+	}
+	for name, in := range cases {
+		if err := ValidateExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: validator accepted broken exposition", name)
+		}
+	}
+}
+
+func TestExpositionHandler(t *testing.T) {
+	r := buildTestRegistry()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if err := ValidateExposition(resp.Body); err != nil {
+		t.Fatalf("handler output invalid: %v", err)
+	}
+
+	post, err := srv.Client().Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != 405 {
+		t.Fatalf("POST status = %d, want 405", post.StatusCode)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("waved_esc_total", "x", "k").With(`a"b\c` + "\n").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `waved_esc_total{k="a\"b\\c\n"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("escaped label line missing; got:\n%s", b.String())
+	}
+	if err := ValidateExposition(strings.NewReader(b.String())); err != nil {
+		t.Fatalf("escaped exposition invalid: %v", err)
+	}
+}

@@ -1,0 +1,129 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLoggerTextFormat(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, FormatText)
+	l.Log("request done", "route", "tune", "status", 200, "dur", "1.5ms", "note", "two words")
+	line := strings.TrimSpace(b.String())
+	for _, want := range []string{
+		"ts=", "level=info", `msg="request done"`,
+		"route=tune", "status=200", "dur=1.5ms", `note="two words"`,
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("text line missing %q: %s", want, line)
+		}
+	}
+}
+
+func TestLoggerJSONFormat(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, FormatJSON)
+	l.Log("request done", "route", "tune", "status", 200, "p50_sec", 0.25)
+	var obj map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &obj); err != nil {
+		t.Fatalf("JSON line does not parse: %v: %s", err, b.String())
+	}
+	if obj["level"] != "info" || obj["msg"] != "request done" || obj["route"] != "tune" {
+		t.Fatalf("unexpected fields: %v", obj)
+	}
+	if v, ok := obj["status"].(float64); !ok || v != 200 {
+		t.Fatalf("status should stay numeric, got %T %v", obj["status"], obj["status"])
+	}
+}
+
+func TestLoggerWithFields(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, FormatJSON).With("request_id", "req-1")
+	l.Log("a")
+	l.Error("b")
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines, got %d", len(lines))
+	}
+	for i, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatal(err)
+		}
+		if obj["request_id"] != "req-1" {
+			t.Fatalf("line %d missing bound field: %s", i, line)
+		}
+	}
+	var last map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last["level"] != "error" {
+		t.Fatalf("Error() level = %v", last["level"])
+	}
+}
+
+func TestLoggerLogfBridge(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, FormatText)
+	var logf func(string, ...any) = l.Logf
+	logf("job %s done in %d ms", "j1", 42)
+	if !strings.Contains(b.String(), `msg="job j1 done in 42 ms"`) {
+		t.Fatalf("Logf output: %s", b.String())
+	}
+}
+
+func TestParseLogFormat(t *testing.T) {
+	for in, want := range map[string]LogFormat{
+		"": FormatText, "text": FormatText, "kv": FormatText,
+		"json": FormatJSON, "JSON": FormatJSON,
+	} {
+		got, err := ParseLogFormat(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLogFormat(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseLogFormat("xml"); err == nil {
+		t.Error("ParseLogFormat should reject unknown formats")
+	}
+}
+
+// TestLoggerConcurrentLinesDoNotTear writes from many goroutines and
+// checks every emitted line is independently well-formed JSON.
+func TestLoggerConcurrentLinesDoNotTear(t *testing.T) {
+	var mu sync.Mutex
+	var b strings.Builder
+	l := NewLogger(writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return b.Write(p)
+	}), FormatJSON)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Log("m", "worker", i, "j", j)
+			}
+		}(i)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("got %d lines, want 800", len(lines))
+	}
+	for _, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("torn line %q: %v", line, err)
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

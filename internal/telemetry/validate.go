@@ -1,0 +1,278 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition strictly parses a Prometheus text-format scrape
+// and returns the first format violation found: unknown line shapes,
+// metrics without a preceding # HELP / # TYPE pair, invalid metric or
+// label names, duplicate series, histograms whose cumulative buckets
+// decrease or whose _count disagrees with the +Inf bucket. It is the
+// shared checker behind the exposition unit tests and the CI scrape
+// step, so "the daemon serves parseable metrics" is one function call.
+func ValidateExposition(r io.Reader) error {
+	v := &expoValidator{
+		types: make(map[string]MetricType),
+		seen:  make(map[string]bool),
+		hist:  make(map[string]*histCheck),
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+		if err := v.line(sc.Text()); err != nil {
+			return fmt.Errorf("line %d: %w", n, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if n == 0 {
+		return fmt.Errorf("empty exposition")
+	}
+	return v.finish()
+}
+
+type expoValidator struct {
+	types   map[string]MetricType
+	seen    map[string]bool // fully-labelled series already emitted
+	hist    map[string]*histCheck
+	curFam  string // family of the open HELP/TYPE block
+	sawHelp bool
+	sawType bool
+}
+
+// histCheck accumulates one histogram series' bucket lines.
+type histCheck struct {
+	bounds   []float64
+	cumul    []uint64
+	count    uint64
+	hasCount bool
+	hasSum   bool
+}
+
+var (
+	sampleRE = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})?\s+(\S+)$`)
+	labelRE  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+func (v *expoValidator) line(line string) error {
+	if strings.TrimSpace(line) == "" {
+		return fmt.Errorf("blank line in exposition")
+	}
+	if strings.HasPrefix(line, "# HELP ") {
+		parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+		name := parts[0]
+		if !metricNameRE.MatchString(name) {
+			return fmt.Errorf("invalid metric name %q in HELP", name)
+		}
+		v.curFam, v.sawHelp, v.sawType = name, true, false
+		return nil
+	}
+	if strings.HasPrefix(line, "# TYPE ") {
+		fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+		if len(fields) != 2 {
+			return fmt.Errorf("malformed TYPE line %q", line)
+		}
+		name, typ := fields[0], MetricType(fields[1])
+		if name != v.curFam || !v.sawHelp {
+			return fmt.Errorf("TYPE %s without preceding HELP", name)
+		}
+		if typ != TypeCounter && typ != TypeGauge && typ != TypeHistogram {
+			return fmt.Errorf("unknown type %q for %s", typ, name)
+		}
+		if _, dup := v.types[name]; dup {
+			return fmt.Errorf("duplicate TYPE for %s", name)
+		}
+		v.types[name] = typ
+		v.sawType = true
+		return nil
+	}
+	if strings.HasPrefix(line, "#") {
+		return fmt.Errorf("unexpected comment %q", line)
+	}
+
+	m := sampleRE.FindStringSubmatch(line)
+	if m == nil {
+		return fmt.Errorf("unparseable sample line %q", line)
+	}
+	name, labels, valStr := m[1], m[2], m[3]
+	val, err := strconv.ParseFloat(valStr, 64)
+	if err != nil {
+		return fmt.Errorf("bad value %q: %v", valStr, err)
+	}
+
+	fam := name
+	typ, ok := v.types[fam]
+	if !ok {
+		// Histogram series lines use the family name plus a suffix.
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && v.types[base] == TypeHistogram {
+				fam, typ, ok = base, TypeHistogram, true
+				break
+			}
+		}
+	}
+	if !ok {
+		return fmt.Errorf("sample %s without HELP/TYPE", name)
+	}
+	if !v.sawType || fam != v.curFam {
+		return fmt.Errorf("sample %s outside its HELP/TYPE block", name)
+	}
+
+	labelPairs, err := parseLabels(labels)
+	if err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	series := name + canonicalLabels(labelPairs, "")
+	if v.seen[series] {
+		return fmt.Errorf("duplicate series %s", series)
+	}
+	v.seen[series] = true
+
+	if typ != TypeHistogram {
+		if typ == TypeCounter && val < 0 {
+			return fmt.Errorf("counter %s has negative value %v", series, val)
+		}
+		return nil
+	}
+	return v.histogramSample(fam, name, labelPairs, val)
+}
+
+// histogramSample folds one _bucket/_sum/_count line into its series'
+// running monotonicity check.
+func (v *expoValidator) histogramSample(fam, name string, labels [][2]string, val float64) error {
+	key := fam + canonicalLabels(labels, "le")
+	hc := v.hist[key]
+	if hc == nil {
+		hc = &histCheck{}
+		v.hist[key] = hc
+	}
+	switch {
+	case strings.HasSuffix(name, "_bucket"):
+		le := ""
+		for _, kv := range labels {
+			if kv[0] == "le" {
+				le = kv[1]
+			}
+		}
+		if le == "" {
+			return fmt.Errorf("%s missing le label", name)
+		}
+		bound := math.Inf(1)
+		if le != "+Inf" {
+			b, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("%s: bad le %q", name, err)
+			}
+			bound = b
+		}
+		if n := len(hc.bounds); n > 0 && bound <= hc.bounds[n-1] {
+			return fmt.Errorf("%s: le=%q out of order", key, le)
+		}
+		cum := uint64(val)
+		if n := len(hc.cumul); n > 0 && cum < hc.cumul[n-1] {
+			return fmt.Errorf("%s: cumulative bucket counts decreased at le=%q", key, le)
+		}
+		hc.bounds = append(hc.bounds, bound)
+		hc.cumul = append(hc.cumul, cum)
+	case strings.HasSuffix(name, "_sum"):
+		hc.hasSum = true
+	case strings.HasSuffix(name, "_count"):
+		hc.hasCount = true
+		hc.count = uint64(val)
+	default:
+		return fmt.Errorf("bare sample %s for histogram family %s", name, fam)
+	}
+	return nil
+}
+
+func (v *expoValidator) finish() error {
+	keys := make([]string, 0, len(v.hist))
+	for k := range v.hist {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		hc := v.hist[k]
+		if len(hc.bounds) == 0 {
+			return fmt.Errorf("histogram %s has no buckets", k)
+		}
+		if !math.IsInf(hc.bounds[len(hc.bounds)-1], 1) {
+			return fmt.Errorf("histogram %s missing +Inf bucket", k)
+		}
+		if !hc.hasSum || !hc.hasCount {
+			return fmt.Errorf("histogram %s missing _sum or _count", k)
+		}
+		if inf := hc.cumul[len(hc.cumul)-1]; hc.count != inf {
+			return fmt.Errorf("histogram %s: _count %d != +Inf bucket %d", k, hc.count, inf)
+		}
+	}
+	return nil
+}
+
+// parseLabels splits a {k="v",...} block into ordered pairs.
+func parseLabels(s string) ([][2]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(s, "{"), "}")
+	if body == "" {
+		return nil, nil
+	}
+	var pairs [][2]string
+	for _, part := range splitLabelPairs(body) {
+		m := labelRE.FindStringSubmatch(part)
+		if m == nil {
+			return nil, fmt.Errorf("malformed label %q", part)
+		}
+		pairs = append(pairs, [2]string{m[1], m[2]})
+	}
+	return pairs, nil
+}
+
+// splitLabelPairs splits on commas outside quoted values.
+func splitLabelPairs(body string) []string {
+	var parts []string
+	depth := false // inside quotes
+	start := 0
+	for i := 0; i < len(body); i++ {
+		switch body[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				parts = append(parts, body[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, body[start:])
+	return parts
+}
+
+// canonicalLabels renders sorted labels (minus one excluded name) so
+// series identity ignores label order and, for histograms, the le.
+func canonicalLabels(pairs [][2]string, exclude string) string {
+	kept := make([]string, 0, len(pairs))
+	for _, kv := range pairs {
+		if kv[0] == exclude && exclude != "" {
+			continue
+		}
+		kept = append(kept, kv[0]+"="+kv[1])
+	}
+	sort.Strings(kept)
+	return "{" + strings.Join(kept, ",") + "}"
+}

@@ -87,6 +87,36 @@ func TestShardDistribution(t *testing.T) {
 	}
 }
 
+// TestShardStatsSumToAggregate: the per-shard telemetry snapshots must
+// partition the aggregate counters exactly — /metrics per-shard series
+// and the /v1/stats totals render from the same underlying numbers.
+func TestShardStatsSumToAggregate(t *testing.T) {
+	c := NewSharded(1024, 8, func(system string, in plan.Instance) (Plan, error) {
+		return planFor(in.MaxSide()), nil
+	})
+	for i := 0; i < 256; i++ {
+		if _, _, err := c.Get("sys", inst(100+i%64)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	per := c.ShardStats()
+	if len(per) != c.Shards() {
+		t.Fatalf("ShardStats returned %d entries, want %d", len(per), c.Shards())
+	}
+	var sum Stats
+	for _, st := range per {
+		sum.add(st)
+	}
+	agg := c.Stats()
+	if sum.Hits != agg.Hits || sum.Misses != agg.Misses ||
+		sum.Coalesced != agg.Coalesced || sum.Size != agg.Size {
+		t.Fatalf("shard stats sum %+v disagrees with aggregate %+v", sum, agg)
+	}
+	if agg.Misses != 64 || agg.Hits != 256-64 {
+		t.Fatalf("unexpected traffic split: %+v", agg)
+	}
+}
+
 // TestShardedStress hammers a multi-shard cache from many goroutines
 // with overlapping Get/Put/Save/Load/Stats traffic. Run under -race in
 // CI; correctness here is "no race, no deadlock, consistent counters".

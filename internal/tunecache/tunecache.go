@@ -22,6 +22,7 @@ package tunecache
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"hash/maphash"
 	"runtime"
@@ -59,6 +60,15 @@ type Plan struct {
 // PredictFunc computes a tuned plan on a cache miss. It is called exactly
 // once per missing key regardless of how many callers are waiting.
 type PredictFunc func(system string, inst plan.Instance) (Plan, error)
+
+// PredictCtxFunc is the context-aware PredictFunc: ctx is the context
+// of the GetCtx call that leads the miss's singleflight (coalesced
+// waiters share the leader's evaluation, so only the leader's context —
+// and therefore its trace span — reaches the predict), or
+// context.Background() for plain Get callers. The context is for
+// telemetry propagation; the predict is not expected to abort on
+// cancellation, since its result is shared with unrelated waiters.
+type PredictCtxFunc func(ctx context.Context, system string, inst plan.Instance) (Plan, error)
 
 // Outcome classifies how a Get was served.
 type Outcome int
@@ -149,7 +159,7 @@ type shard struct {
 // or NewSharded.
 type Cache struct {
 	cap     int
-	predict PredictFunc
+	predict PredictCtxFunc
 	shards  []*shard
 	seed    maphash.Seed
 	// clock is the global recency counter: every touch (hit, insert,
@@ -172,6 +182,18 @@ func New(capacity int, predict PredictFunc) *Cache {
 // minShardCapacity entries), which means a small cache runs unsharded
 // and keeps exact global LRU semantics.
 func NewSharded(capacity, shards int, predict PredictFunc) *Cache {
+	var fill PredictCtxFunc
+	if predict != nil {
+		fill = func(_ context.Context, system string, inst plan.Instance) (Plan, error) {
+			return predict(system, inst)
+		}
+	}
+	return NewShardedCtx(capacity, shards, fill)
+}
+
+// NewShardedCtx is NewSharded with a context-aware predict, for callers
+// that thread trace spans through the miss path (see PredictCtxFunc).
+func NewShardedCtx(capacity, shards int, predict PredictCtxFunc) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCapacity
 	}
@@ -219,6 +241,17 @@ func (c *Cache) shardFor(key string) *shard {
 // Shards returns the number of independently locked shards.
 func (c *Cache) Shards() int { return len(c.shards) }
 
+// ShardIndex reports which shard (an index into ShardStats) serves the
+// key for (system, inst), so request traces can name the shard a lookup
+// landed on.
+func (c *Cache) ShardIndex(system string, inst plan.Instance) int {
+	if len(c.shards) == 1 {
+		return 0
+	}
+	k := Key(system, inst.Normalize())
+	return int(maphash.String(c.seed, k) % uint64(len(c.shards)))
+}
+
 // touch stamps an entry with the current global clock reading. Caller
 // holds the entry's shard mutex.
 func (c *Cache) touch(e *entry) { e.stamp = c.clock.Add(1) }
@@ -262,6 +295,13 @@ func Key(system string, inst plan.Instance) string {
 // caller's in-flight computation (Coalesced). Predict errors are returned
 // to every waiting caller and are not cached, so a later Get retries.
 func (c *Cache) Get(system string, inst plan.Instance) (Plan, Outcome, error) {
+	return c.GetCtx(context.Background(), system, inst)
+}
+
+// GetCtx is Get with a caller context that reaches the predict when
+// this call leads the miss's singleflight, letting a request's trace
+// span chain through the model evaluation (see PredictCtxFunc).
+func (c *Cache) GetCtx(ctx context.Context, system string, inst plan.Instance) (Plan, Outcome, error) {
 	if err := inst.Validate(); err != nil {
 		return Plan{}, Miss, err
 	}
@@ -308,7 +348,7 @@ func (c *Cache) Get(system string, inst plan.Instance) (Plan, Outcome, error) {
 				err = fmt.Errorf("tunecache: predict panicked: %v", r)
 			}
 		}()
-		return c.predict(system, inst)
+		return c.predict(ctx, system, inst)
 	}()
 
 	s.mu.Lock()
@@ -400,6 +440,23 @@ func (c *Cache) Stats() Stats {
 		out.add(st)
 	}
 	out.Capacity = c.cap
+	return out
+}
+
+// ShardStats returns a per-shard snapshot of the counters, in shard
+// order. This is the telemetry surface behind the per-shard series on
+// /metrics: contention or skew shows up as one shard's hit/miss mix
+// diverging from its peers'. Capacity is left zero — the LRU bound is
+// shared across shards, not partitioned.
+func (c *Cache) ShardStats() []Stats {
+	out := make([]Stats, len(c.shards))
+	for i, s := range c.shards {
+		s.mu.Lock()
+		st := s.stats
+		st.Size = s.lru.Len()
+		s.mu.Unlock()
+		out[i] = st
+	}
 	return out
 }
 

@@ -35,6 +35,11 @@ type CacheStats = tunecache.Stats
 // key regardless of how many callers wait on it.
 type PredictFunc = tunecache.PredictFunc
 
+// PredictCtxFunc is the context-aware PredictFunc: the leading caller's
+// context (and so its trace span) reaches the fill, for caches built
+// with NewPlanCacheCtx and queried through PlanCache.GetCtx.
+type PredictCtxFunc = tunecache.PredictCtxFunc
+
 // CacheOutcome classifies how a PlanCache lookup was served.
 type CacheOutcome = tunecache.Outcome
 
@@ -88,6 +93,12 @@ type CacheOptions struct {
 // NewPlanCache is the common-default shorthand.
 func NewPlanCacheOpts(opts CacheOptions, predict PredictFunc) *PlanCache {
 	return tunecache.NewSharded(opts.Capacity, opts.Shards, predict)
+}
+
+// NewPlanCacheCtx is NewPlanCacheOpts with a context-aware predict, so
+// trace spans thread through the miss path (see PredictCtxFunc).
+func NewPlanCacheCtx(opts CacheOptions, predict PredictCtxFunc) *PlanCache {
+	return tunecache.NewShardedCtx(opts.Capacity, opts.Shards, predict)
 }
 
 // NewTuningServer builds the tuning daemon from cfg. The zero config
