@@ -17,6 +17,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cpuexec"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/kernels"
 	"repro/internal/ml"
 	"repro/internal/plan"
+	"repro/internal/retrain"
 	"repro/internal/tunecache"
 	"repro/wavefront"
 )
@@ -470,6 +472,93 @@ func BenchmarkPlanCacheHitParallel(b *testing.B) {
 			})
 		})
 	}
+}
+
+// BenchmarkTuneDuringPromotion measures the serving hot path while the
+// background retrainer churns: resident lookups for one system from
+// every core, with a promotion loop on the other system swapping its
+// champion, invalidating its cache entries and re-warming them every
+// half millisecond. Targeted invalidation means the served system's
+// entries stay resident throughout, so the medians should land within a
+// few percent of BenchmarkPlanCacheHitParallel's sharded variant — the
+// CI trajectory gates the gap at 10%.
+func BenchmarkTuneDuringPromotion(b *testing.B) {
+	fill := func(system string, in plan.Instance) (tunecache.Plan, error) {
+		return tunecache.Plan{
+			Par:     plan.Params{CPUTile: 8, Band: -1, GPUTile: 1, Halo: -1},
+			RTimeNs: 1e6, SerialNs: 2e6,
+		}, nil
+	}
+	shards := runtime.GOMAXPROCS(0)
+	if shards <= 1 {
+		shards = 8
+	}
+	c := tunecache.NewSharded(4096, shards, fill)
+	insts := make([]plan.Instance, 64)
+	for i := range insts {
+		insts[i] = plan.Instance{Dim: 300 + 25*i, TSize: 2000, DSize: 1}
+		if _, _, err := c.Get("i7-2600K", insts[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	churn := make([]plan.Instance, 8)
+	for i := range churn {
+		churn[i] = plan.Instance{Dim: 400 + 50*i, TSize: 2000, DSize: 1}
+		if _, _, err := c.Get("i3-540", churn[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// Resolve the challenger before the clock starts: benchTuner may
+	// train the shared bench context on first use.
+	challenger := benchTuner(b)
+	src := retrain.NewSource(wavefront.NewStaticTunerSource(challenger))
+	// One synchronous promotion before the clock starts, so the swap
+	// path is exercised even on the harness's N=1 sizing pass.
+	src.Promote("i3-540", challenger)
+	c.InvalidateSystem("i3-540")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			src.Promote("i3-540", challenger)
+			c.InvalidateSystem("i3-540")
+			for _, in := range churn {
+				if _, _, err := c.Get("i3-540", in); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			time.Sleep(500 * time.Microsecond)
+		}
+	}()
+
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			in := insts[i%len(insts)]
+			i++
+			if _, out, err := c.Get("i7-2600K", in); err != nil || out != tunecache.Hit {
+				b.Errorf("lookup = %v (%v), want hit: promotion must not evict other systems", out, err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	close(stop)
+	wg.Wait()
+	if gens := src.Generation("i3-540"); gens < 2 {
+		b.Fatalf("promotion never ran (generation %d)", gens)
+	}
+	b.ReportMetric(float64(src.Generation("i3-540")-1), "promotions")
 }
 
 // BenchmarkMetricsOverhead prices the observability layer on the

@@ -63,7 +63,7 @@ type benchGroup struct {
 // ops need a time budget to average out scheduler stalls.
 var defaultGroups = []benchGroup{
 	{bench: "Frontier", benchtime: "20x"},
-	{bench: "PlanCacheHit|TuneBatch|JobThroughput|PipelineThroughput|MetricsOverhead",
+	{bench: "PlanCacheHit|TuneDuringPromotion|TuneBatch|JobThroughput|PipelineThroughput|MetricsOverhead",
 		benchtime: "0.3s"},
 }
 

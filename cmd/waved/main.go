@@ -10,6 +10,16 @@
 // cached prediction and append the measured outcome to the -train-log
 // directory (per-system search-CSV files for wavetrain -from).
 //
+// With -train-log set, a background retrainer closes the feedback loop:
+// it watches the observation logs, shadow-trains a challenger tuner
+// once enough rows accumulate (-retrain-min-obs, or an age threshold),
+// scores champion against challenger on a held-out split
+// (-retrain-holdout), and atomically promotes the winner — invalidating
+// only that system's cached plans. Promotions are logged with
+// generation IDs and surface in GET /v1/stats (retrain block) and
+// /metrics (waved_model_generation, waved_retrain_*). -retrain-off
+// disables the loop.
+//
 // Jobs can be chained into wave-DAG pipelines (POST /v1/pipelines):
 // ordered waves of jobs where a wave's jobs run in parallel and wave
 // N+1 starts only after wave N resolves, with per-wave failure policy
@@ -21,6 +31,8 @@
 //	      [-cache 512] [-cache-shards 0] [-cache-file plans.json] [-full]
 //	      [-batch-limit 64] [-workers 4] [-queue-depth 64]
 //	      [-refine-budget 12] [-train-log dir] [-max-pipelines 16]
+//	      [-retrain-off] [-retrain-interval 5m] [-retrain-min-obs 32]
+//	      [-retrain-holdout 0.25]
 //	      [-log-format text|json] [-slow-request 0] [-slow-job 0]
 //	      [-pprof-addr localhost:6060]
 //
@@ -106,6 +118,10 @@ func main() {
 	queueDepth := flag.Int("queue-depth", 0, "job queue bound; overflow answers 429 (0 = default)")
 	refineBudget := flag.Int("refine-budget", 0, "probe budget per refine job (0 = default)")
 	trainLog := flag.String("train-log", "", "directory for refined jobs' measured observations (per-system CSVs for wavetrain -from)")
+	retrainOff := flag.Bool("retrain-off", false, "disable background retraining even when -train-log is set")
+	retrainInterval := flag.Duration("retrain-interval", 0, "background retrainer polling period (0 = default; observations wake it early)")
+	retrainMinObs := flag.Int("retrain-min-obs", 0, "observations that trigger a retrain (0 = default)")
+	retrainHoldout := flag.Float64("retrain-holdout", 0, "observation fraction held out for the champion/challenger comparison (0 = default)")
 	maxPipelines := flag.Int("max-pipelines", 0, "max concurrently active pipelines; overflow answers 429 (0 = default)")
 	logFormat := flag.String("log-format", "text", "log line encoding: text (key=value) or json")
 	slowRequest := flag.Duration("slow-request", 0, "log the trace-span tree of requests at least this slow (0 = off)")
@@ -130,6 +146,12 @@ func main() {
 			TrainingLogDir: *trainLog,
 			MaxPipelines:   *maxPipelines,
 			SlowJob:        *slowJob,
+		},
+		Retrain: wavefront.RetrainOptions{
+			Off:             *retrainOff,
+			Interval:        *retrainInterval,
+			MinObservations: *retrainMinObs,
+			Holdout:         *retrainHoldout,
 		},
 		Logger:      wavefront.NewStructuredLogger(os.Stderr, format),
 		SlowRequest: *slowRequest,

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/plan"
+)
+
+// SplitHoldout deterministically partitions a search result's points
+// into a training result and a held-out evaluation set, for shadow
+// evaluation of a retrained tuner: the challenger trains on the first
+// part and both champion and challenger are scored on the second, so
+// the comparison never rewards memorizing the training rows. Each point
+// lands in the holdout with probability frac (clamped to [0, 0.5]),
+// driven by the seed alone, with two repairs so the split is always
+// usable: an instance whose points were all held out gets its first
+// point back (training needs every instance populated), and if nothing
+// was held out, either some instance's last extra point is held out or
+// — when every instance has a single point, the common shape of a young
+// observation log — a whole instance is moved to the holdout, leaving
+// the rest to train. The returned training result
+// shares the receiver's system and rebuilds its space from the
+// surviving instances; the held-out points are returned flat.
+func SplitHoldout(sr *SearchResult, frac float64, seed int64) (*SearchResult, []Point) {
+	if sr == nil {
+		return nil, nil
+	}
+	if frac > 0.5 {
+		frac = 0.5
+	}
+	rng := rand.New(rand.NewSource(seed))
+	train := &SearchResult{Sys: sr.Sys}
+	var held []Point
+	for i := range sr.Instances {
+		src := &sr.Instances[i]
+		ir := InstanceResult{Inst: src.Inst, SerialNs: src.SerialNs}
+		var mine []Point
+		for _, p := range src.Points {
+			if frac > 0 && rng.Float64() < frac {
+				mine = append(mine, p)
+			} else {
+				ir.Points = append(ir.Points, p)
+			}
+		}
+		if len(ir.Points) == 0 && len(mine) > 0 {
+			// Every point of this instance was held out; give the first
+			// back so the instance still trains.
+			ir.Points = append(ir.Points, mine[0])
+			mine = mine[1:]
+		}
+		held = append(held, mine...)
+		train.Instances = append(train.Instances, ir)
+	}
+	if len(held) == 0 {
+		for i := len(train.Instances) - 1; i >= 0; i-- {
+			ir := &train.Instances[i]
+			if len(ir.Points) < 2 {
+				continue
+			}
+			held = append(held, ir.Points[len(ir.Points)-1])
+			ir.Points = ir.Points[:len(ir.Points)-1]
+			break
+		}
+	}
+	if len(held) == 0 && len(train.Instances) >= 2 {
+		// Single-point instances only: sacrifice whole instances (about a
+		// frac share, at least one) to the holdout so the comparison still
+		// has something to score — an instance absent from training is
+		// exactly what a holdout is for.
+		take := int(frac * float64(len(train.Instances)))
+		if take < 1 {
+			take = 1
+		}
+		if max := len(train.Instances) - 1; take > max {
+			take = max
+		}
+		cut := len(train.Instances) - take
+		for _, ir := range train.Instances[cut:] {
+			held = append(held, ir.Points...)
+		}
+		train.Instances = train.Instances[:cut]
+	}
+	insts := make([]plan.Instance, 0, len(train.Instances))
+	for i := range train.Instances {
+		insts = append(insts, train.Instances[i].Inst)
+	}
+	train.Space = spaceFromInstances(insts)
+	return train, held
+}

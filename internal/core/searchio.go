@@ -75,6 +75,72 @@ func parseShapeField(s string) (plan.Instance, error) {
 	return plan.Instance{Dim: dim}, nil
 }
 
+// SearchRow is one parsed data row of the search-CSV format: the
+// per-measurement record shared by sweep files and observation logs.
+// Parsing is purely syntactic — semantic checks (known system, valid
+// plan, positive runtime) belong to the reader that knows the context.
+type SearchRow struct {
+	System   string
+	Inst     plan.Instance
+	Par      plan.Params
+	RTimeNs  float64
+	Censored bool
+	App      string
+}
+
+// ParseSearchRow parses one data row (not the header) of the search-CSV
+// format, accepting both the legacy 10-field and current 11-field
+// layouts. It inverts writeSearchRow: a row that parses re-renders to a
+// row that parses to the same values.
+func ParseSearchRow(text string) (SearchRow, error) {
+	row, err := parseSearchRow(strings.TrimSpace(text))
+	if err != nil {
+		return SearchRow{}, fmt.Errorf("core: search-CSV row: %v", err)
+	}
+	return row, nil
+}
+
+// parseSearchRow is ParseSearchRow without the error prefix, so ReadCSV
+// can wrap errors with line numbers instead.
+func parseSearchRow(text string) (SearchRow, error) {
+	f := strings.Split(text, ",")
+	if len(f) != 10 && len(f) != 11 {
+		return SearchRow{}, fmt.Errorf("%d fields, want 10 or 11", len(f))
+	}
+	shape, err := parseShapeField(f[1])
+	if err != nil {
+		return SearchRow{}, fmt.Errorf("field 1: %v", err)
+	}
+	ints := make([]int, 0, 5)
+	for _, idx := range []int{3, 4, 5, 6, 7} {
+		v, err := strconv.Atoi(f[idx])
+		if err != nil {
+			return SearchRow{}, fmt.Errorf("field %d: %v", idx, err)
+		}
+		ints = append(ints, v)
+	}
+	tsize, err := strconv.ParseFloat(f[2], 64)
+	if err != nil {
+		return SearchRow{}, err
+	}
+	rtime, err := strconv.ParseFloat(f[8], 64)
+	if err != nil {
+		return SearchRow{}, err
+	}
+	censored, err := strconv.ParseBool(f[9])
+	if err != nil {
+		return SearchRow{}, err
+	}
+	row := SearchRow{System: f[0], RTimeNs: rtime, Censored: censored}
+	row.Inst = shape
+	row.Inst.TSize, row.Inst.DSize = tsize, ints[0]
+	row.Par = plan.Params{CPUTile: ints[1], Band: ints[2], GPUTile: ints[3], Halo: ints[4]}
+	if len(f) == 11 {
+		row.App = f[10]
+	}
+	return row, nil
+}
+
 // WriteCSV streams every evaluated point of the search result.
 func (sr *SearchResult) WriteCSV(w io.Writer) error {
 	bw := bufio.NewWriter(w)
@@ -115,53 +181,27 @@ func ReadCSV(r io.Reader) (*SearchResult, error) {
 		// app name); both can appear in one file when an observation log
 		// appended to a pre-app-column file. The app field is metadata
 		// for humans and tooling; training ignores it.
-		f := strings.Split(text, ",")
-		if len(f) != 10 && len(f) != 11 {
-			return nil, fmt.Errorf("core: line %d: %d fields, want 10 or 11", line, len(f))
+		row, err := parseSearchRow(text)
+		if err != nil {
+			return nil, fmt.Errorf("core: line %d: %v", line, err)
 		}
 		if sr == nil {
-			sys, ok := hw.ByName(f[0])
+			sys, ok := hw.ByName(row.System)
 			if !ok {
-				return nil, fmt.Errorf("core: line %d: unknown system %q", line, f[0])
+				return nil, fmt.Errorf("core: line %d: unknown system %q", line, row.System)
 			}
 			sr = &SearchResult{Sys: sys}
-		} else if sr.Sys.Name != f[0] {
-			return nil, fmt.Errorf("core: line %d: mixed systems %q and %q", line, sr.Sys.Name, f[0])
+		} else if sr.Sys.Name != row.System {
+			return nil, fmt.Errorf("core: line %d: mixed systems %q and %q", line, sr.Sys.Name, row.System)
 		}
-		shape, err := parseShapeField(f[1])
-		if err != nil {
-			return nil, fmt.Errorf("core: line %d field 1: %v", line, err)
-		}
-		ints := make([]int, 0, 5)
-		for _, idx := range []int{3, 4, 5, 6, 7} {
-			v, err := strconv.Atoi(f[idx])
-			if err != nil {
-				return nil, fmt.Errorf("core: line %d field %d: %v", line, idx, err)
-			}
-			ints = append(ints, v)
-		}
-		tsize, err := strconv.ParseFloat(f[2], 64)
-		if err != nil {
-			return nil, fmt.Errorf("core: line %d: %v", line, err)
-		}
-		rtime, err := strconv.ParseFloat(f[8], 64)
-		if err != nil {
-			return nil, fmt.Errorf("core: line %d: %v", line, err)
-		}
-		censored, err := strconv.ParseBool(f[9])
-		if err != nil {
-			return nil, fmt.Errorf("core: line %d: %v", line, err)
-		}
-		inst := shape
-		inst.TSize, inst.DSize = tsize, ints[0]
-		par := plan.Params{CPUTile: ints[1], Band: ints[2], GPUTile: ints[3], Halo: ints[4]}
+		inst := row.Inst
 		ir, ok := byInst[inst]
 		if !ok {
 			ir = &InstanceResult{Inst: inst, SerialNs: engine.SerialNs(sr.Sys, inst)}
 			byInst[inst] = ir
 			order = append(order, inst)
 		}
-		ir.Points = append(ir.Points, Point{Inst: inst, Par: par, RTimeNs: rtime, Censored: censored})
+		ir.Points = append(ir.Points, Point{Inst: inst, Par: row.Par, RTimeNs: row.RTimeNs, Censored: row.Censored})
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
@@ -174,6 +214,68 @@ func ReadCSV(r io.Reader) (*SearchResult, error) {
 	}
 	sr.Space = spaceFromInstances(order)
 	return sr, nil
+}
+
+// ReadObservationLog reads a per-system observation log leniently: rows
+// that fail to parse, name a different system, or carry values no valid
+// plan could produce (a corrupt or torn append) are skipped and counted
+// rather than failing the load, because a single bad row must not stall
+// retraining on an otherwise healthy log. The strictness difference from
+// ReadCSV is deliberate — sweep files are write-once artifacts where
+// corruption should be loud, observation logs are long-lived append
+// targets where it should be survivable. Returns the number of rows
+// skipped alongside the result; errors only when the header is wrong or
+// no usable row remains.
+func ReadObservationLog(r io.Reader, system string) (*SearchResult, int, error) {
+	sys, ok := hw.ByName(system)
+	if !ok {
+		return nil, 0, fmt.Errorf("core: unknown system %q", system)
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	if !sc.Scan() {
+		return nil, 0, fmt.Errorf("core: empty observation log")
+	}
+	if got := strings.TrimSpace(sc.Text()); got != searchCSVHeader && got != legacySearchCSVHeader {
+		return nil, 0, fmt.Errorf("core: unexpected observation-log header %q", got)
+	}
+	sr := &SearchResult{Sys: sys}
+	byInst := map[plan.Instance]*InstanceResult{}
+	var order []plan.Instance
+	bad := 0
+	for sc.Scan() {
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text == searchCSVHeader || text == legacySearchCSVHeader {
+			continue
+		}
+		row, err := parseSearchRow(text)
+		if err != nil || row.System != system || row.RTimeNs <= 0 {
+			bad++
+			continue
+		}
+		if _, err := plan.Build(row.Inst, row.Par); err != nil {
+			bad++
+			continue
+		}
+		ir, ok := byInst[row.Inst]
+		if !ok {
+			ir = &InstanceResult{Inst: row.Inst, SerialNs: engine.SerialNs(sys, row.Inst)}
+			byInst[row.Inst] = ir
+			order = append(order, row.Inst)
+		}
+		ir.Points = append(ir.Points, Point{Inst: row.Inst, Par: row.Par, RTimeNs: row.RTimeNs, Censored: row.Censored})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, bad, err
+	}
+	if len(order) == 0 {
+		return nil, bad, fmt.Errorf("core: observation log for %s has no usable rows", system)
+	}
+	for _, inst := range order {
+		sr.Instances = append(sr.Instances, *byInst[inst])
+	}
+	sr.Space = spaceFromInstances(order)
+	return sr, bad, nil
 }
 
 // spaceFromInstances rebuilds the instance grid (dims, rect shapes,

@@ -277,6 +277,10 @@ type Config struct {
 	// TrainingLog, when set, receives (instance, params, measured ns)
 	// observations from refined jobs.
 	TrainingLog *core.ObservationLog
+	// OnObservation, when set, is called after each successful
+	// training-log append with the observed system — the retrainer's
+	// wake-up hook.
+	OnObservation func(system string)
 	// MaxRecords bounds retained finished job records; the oldest
 	// finished records are pruned beyond it (<= 0 selects
 	// DefaultMaxRecords). The same bound retains finished pipeline

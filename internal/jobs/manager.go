@@ -697,6 +697,9 @@ func (m *Manager) execute(ctx context.Context, rec *record) (*Result, error) {
 			m.mu.Lock()
 			m.stats.TrainingRows++
 			m.mu.Unlock()
+			if m.cfg.OnObservation != nil {
+				m.cfg.OnObservation(spec.System)
+			}
 		}
 	}
 	return res, nil

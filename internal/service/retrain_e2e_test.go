@@ -1,0 +1,152 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/retrain"
+)
+
+// badChampionTuner trains a tuner on the tiny space with every runtime
+// (and serial baseline) scaled 1000x. The ratios — and with them every
+// serial/parallel decision — are untouched, but the modeled runtimes are
+// three orders of magnitude off the engine's measurements, so any
+// challenger trained on real observations beats it decisively. This is
+// the e2e analogue of the retrain package's inverted-runtime fixture.
+func badChampionTuner(t *testing.T) *core.Tuner {
+	t.Helper()
+	space := core.Space{
+		Dims:      []int{300, 700, 1500},
+		TSizes:    []float64{10, 200, 3000},
+		DSizes:    []int{1, 5},
+		CPUTiles:  []int{1, 8},
+		BandFracs: []float64{-1, 0.5, 1.0},
+		HaloFracs: []float64{-1, 0, 1.0},
+		GPUTiles:  []int{1, 8},
+	}
+	sr, err := core.Exhaustive(hw.I7_2600K(), space, core.SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaled := &core.SearchResult{Sys: sr.Sys, Space: sr.Space}
+	for _, ir := range sr.Instances {
+		out := core.InstanceResult{Inst: ir.Inst, SerialNs: ir.SerialNs * 1000}
+		for _, p := range ir.Points {
+			p.RTimeNs *= 1000
+			out.Points = append(out.Points, p)
+		}
+		scaled.Instances = append(scaled.Instances, out)
+	}
+	tun, err := core.Train(scaled, core.DefaultTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tun
+}
+
+// TestRetrainPromotionEndToEnd is the full loop over HTTP: a daemon
+// boots with a deliberately miscalibrated champion and a tiny retrain
+// interval, refine jobs flow observations into the training log, the
+// background retrainer shadow-trains a challenger off the log, the
+// guardrail passes, and /v1/stats reports the promoted generation 2
+// with the system's cache entries invalidated.
+func TestRetrainPromotionEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	s, ts, _ := newTestServer(t, Config{
+		Tuners: NewStaticSource(badChampionTuner(t)),
+		Jobs:   JobOptions{Workers: 2, RefineBudget: 4, TrainingLogDir: dir},
+		Retrain: RetrainOptions{
+			Interval:        50 * time.Millisecond,
+			MinObservations: 6,
+			Holdout:         0.5,
+			// The holdout repairs guarantee at least one held sample, so
+			// MinSamples 1 makes the first attempt decisive; guardrail
+			// strictness has its own deterministic unit battery.
+			Guardrail: retrain.GuardrailOptions{MinSamples: 1},
+		},
+		Logf: t.Logf,
+	})
+	defer s.Shutdown(context.Background())
+	if s.Retrainer() == nil {
+		t.Fatal("retrainer not constructed despite training-log dir")
+	}
+
+	// Generation 1 (the factory champion) is reported before anything
+	// was observed.
+	if st := getStats(t, ts.URL); st.Retrain == nil || st.Retrain.Systems["i7-2600K"].Generation != 1 {
+		t.Fatalf("initial retrain stats = %+v, want generation 1", st.Retrain)
+	}
+
+	// Refine jobs are the observation source: each successful refinement
+	// appends its measured configuration to the training log and pokes
+	// the retrainer awake.
+	dims := []int{1200, 1500, 1900, 2300}
+	for round := 0; round < 2; round++ {
+		for _, dim := range dims {
+			body := fmt.Sprintf(`{"system":"i7-2600K","dim":%d,"tsize":3000,"dsize":1,"refine":true}`, dim)
+			ji, resp := postJob(t, ts.URL, body)
+			if resp.StatusCode != 202 {
+				t.Fatalf("submit status %d", resp.StatusCode)
+			}
+			if done := pollJob(t, ts.URL, ji.ID); done.State != "succeeded" {
+				t.Fatalf("job %s finished %q, want succeeded", ji.ID, done.State)
+			} else if done.Result != nil && done.Result.Serial {
+				t.Fatalf("dim %d chose the serial baseline; no observation logged", dim)
+			}
+		}
+	}
+
+	// The promotion lands asynchronously once MinObservations accumulate.
+	// Keep observations flowing while waiting: a retrain attempt that
+	// lands between submissions consumes its rows, so fresh refine jobs
+	// refill the log until an attempt promotes.
+	deadline := time.Now().Add(60 * time.Second)
+	var last retrain.SystemStatus
+	for i := 0; ; i++ {
+		st := getStats(t, ts.URL)
+		if st.Retrain != nil {
+			last = st.Retrain.Systems["i7-2600K"]
+			if last.Generation >= 2 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("promotion never landed; last status %+v", last)
+		}
+		body := fmt.Sprintf(`{"system":"i7-2600K","dim":%d,"tsize":3000,"dsize":1,"refine":true}`,
+			dims[i%len(dims)])
+		ji, _ := postJob(t, ts.URL, body)
+		pollJob(t, ts.URL, ji.ID)
+		time.Sleep(20 * time.Millisecond)
+	}
+	if last.Promotions < 1 || last.Retrains < 1 {
+		t.Fatalf("promoted status inconsistent: %+v", last)
+	}
+	if last.LastVerdict != "promote" || last.Verdict == nil || !last.Verdict.Promote {
+		t.Fatalf("promoted without a promote verdict: %+v", last)
+	}
+	if last.LastPromotionUnix == 0 || last.LastGenerationID == "" {
+		t.Fatalf("promotion provenance missing: %+v", last)
+	}
+
+	// The jobs warmed plan-cache entries for the champion; the promotion
+	// must have dropped them so the challenger serves from here on.
+	st := getStats(t, ts.URL)
+	if st.Cache.Invalidations == 0 {
+		t.Fatalf("promotion invalidated nothing: %+v", st.Cache)
+	}
+
+	// Serving continues against the promoted model (any cache entries
+	// present now were filled by the challenger after the invalidation).
+	tr, resp := postTune(t, ts.URL, `{"system":"i7-2600K","dim":1900,"tsize":3000,"dsize":1}`)
+	if resp.StatusCode != 200 {
+		t.Fatalf("post-promotion tune status %d", resp.StatusCode)
+	}
+	if tr.RTimeSec <= 0 {
+		t.Fatalf("post-promotion tune returned no runtime: %+v", tr)
+	}
+}

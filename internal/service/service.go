@@ -59,6 +59,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/jobs"
 	"repro/internal/plan"
+	"repro/internal/retrain"
 	"repro/internal/telemetry"
 	"repro/internal/tunecache"
 )
@@ -89,6 +90,10 @@ type Config struct {
 	// Jobs configures the asynchronous job subsystem; the zero value
 	// selects the jobs package defaults.
 	Jobs JobOptions
+	// Retrain configures the background champion/challenger retrainer;
+	// it runs only when Jobs.TrainingLogDir is set (the retrainer feeds
+	// on the observation logs written there) and Retrain.Off is false.
+	Retrain RetrainOptions
 	// Logf receives request-path log lines; nil disables logging.
 	// Ignored when Logger is set.
 	Logf func(format string, args ...any)
@@ -129,6 +134,37 @@ type JobOptions struct {
 	SlowJob time.Duration
 }
 
+// RetrainOptions is the service-level slice of retrain.Config: the loop
+// thresholds and the guardrail of the background champion/challenger
+// retrainer. The retrainer watches the observation logs refined jobs
+// append under Jobs.TrainingLogDir, shadow-trains challengers, and
+// atomically promotes winners into the serving tuner source (see
+// internal/retrain).
+type RetrainOptions struct {
+	// Off disables the retrainer even when a training-log directory is
+	// configured.
+	Off bool
+	// Interval is the loop's polling period (<= 0 selects the retrain
+	// default); observations landing from refine jobs wake it early.
+	Interval time.Duration
+	// MinObservations is the unconsumed-row count that triggers a
+	// retrain (<= 0 selects the retrain default).
+	MinObservations int
+	// MaxAge triggers a retrain once the oldest unconsumed row has
+	// waited this long, even below MinObservations (<= 0 selects the
+	// retrain default).
+	MaxAge time.Duration
+	// Holdout is the observation fraction held out for the
+	// champion/challenger comparison (<= 0 selects the retrain default).
+	Holdout float64
+	// Guardrail parameterizes the promotion gate; the zero value selects
+	// the retrain defaults.
+	Guardrail retrain.GuardrailOptions
+	// TrainOpts are the challenger's training options; the zero value
+	// selects the retrain default (core defaults with Stride 1).
+	TrainOpts core.TrainOptions
+}
+
 // Server is the tuning daemon: an http.Handler plus the plan cache and
 // lazily resolved per-system tuners behind it.
 type Server struct {
@@ -141,6 +177,12 @@ type Server struct {
 	mux      *http.ServeMux
 	handler  http.Handler
 	start    time.Time
+
+	// retrainSrc wraps cfg.Tuners with champion/challenger promotion and
+	// retrainer runs the background loop feeding it; both are nil when
+	// retraining is off (no training-log directory, or Retrain.Off).
+	retrainSrc *retrain.Source
+	retrainer  *retrain.Retrainer
 
 	httpMu   sync.Mutex
 	httpSrv  *http.Server
@@ -192,6 +234,15 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.systems[sys.Name] = sys
 	}
+	retrainOn := cfg.Jobs.TrainingLogDir != "" && !cfg.Retrain.Off
+	if retrainOn {
+		// Wrap the configured source before anything captures s.tuners:
+		// promotions swap tuners inside the wrapper, so the cache's miss
+		// path and the job manager pick up new champions with no further
+		// plumbing.
+		s.retrainSrc = retrain.NewSource(cfg.Tuners)
+		s.tuners = s.retrainSrc
+	}
 	s.cache = tunecache.NewShardedCtx(cfg.CacheSize, cfg.CacheShards, s.predict)
 	if cfg.CachePath != "" {
 		if n, err := s.cache.LoadFile(cfg.CachePath); err == nil {
@@ -209,6 +260,31 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	var onObservation func(system string)
+	if retrainOn {
+		r, err := retrain.New(retrain.Config{
+			Systems:         cfg.Systems,
+			LogDir:          cfg.Jobs.TrainingLogDir,
+			Interval:        cfg.Retrain.Interval,
+			MinObservations: cfg.Retrain.MinObservations,
+			MaxAge:          cfg.Retrain.MaxAge,
+			Holdout:         cfg.Retrain.Holdout,
+			Guardrail:       cfg.Retrain.Guardrail,
+			TrainOpts:       cfg.Retrain.TrainOpts,
+			Champion:        s.retrainSrc.Tuner,
+			Promote:         s.retrainSrc.Promote,
+			Generation:      s.retrainSrc.Generation,
+			Invalidate:      s.cache.InvalidateSystem,
+			Logf:            s.logf,
+			Metrics:         s.m.retrain,
+		})
+		if err != nil {
+			s.trainLog.Close()
+			return nil, err
+		}
+		s.retrainer = r
+		onObservation = r.Notify
+	}
 	var err error
 	s.jobs, err = jobs.New(jobs.Config{
 		Systems: cfg.Systems,
@@ -220,15 +296,16 @@ func New(cfg Config) (*Server, error) {
 			}
 			return s.tuners.Tuner(sys)
 		},
-		Workers:      cfg.Jobs.Workers,
-		QueueDepth:   cfg.Jobs.QueueDepth,
-		RefineBudget: cfg.Jobs.RefineBudget,
-		TrainingLog:  s.trainLog,
-		MaxRecords:   cfg.Jobs.MaxRecords,
-		MaxPipelines: cfg.Jobs.MaxPipelines,
-		Logf:         s.logf,
-		Metrics:      s.m.jobs,
-		SlowJob:      cfg.Jobs.SlowJob,
+		Workers:       cfg.Jobs.Workers,
+		QueueDepth:    cfg.Jobs.QueueDepth,
+		RefineBudget:  cfg.Jobs.RefineBudget,
+		TrainingLog:   s.trainLog,
+		OnObservation: onObservation,
+		MaxRecords:    cfg.Jobs.MaxRecords,
+		MaxPipelines:  cfg.Jobs.MaxPipelines,
+		Logf:          s.logf,
+		Metrics:       s.m.jobs,
+		SlowJob:       cfg.Jobs.SlowJob,
 	})
 	if err != nil {
 		if s.trainLog != nil {
@@ -250,6 +327,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.Handle("/metrics", s.m.reg.Handler())
 	s.registerCollectors()
 	s.handler = s.withTelemetry(s.mux)
+	if s.retrainer != nil {
+		s.retrainer.Start()
+	}
 	return s, nil
 }
 
@@ -268,6 +348,11 @@ func (s *Server) Cache() *tunecache.Cache { return s.cache }
 
 // Jobs returns the asynchronous job manager behind /v1/jobs.
 func (s *Server) Jobs() *jobs.Manager { return s.jobs }
+
+// Retrainer returns the background champion/challenger retrainer, or
+// nil when retraining is off (no training-log directory, or
+// Config.Retrain.Off).
+func (s *Server) Retrainer() *retrain.Retrainer { return s.retrainer }
 
 // Telemetry returns the metrics registry behind GET /metrics and the
 // telemetry block of GET /v1/stats.
@@ -644,6 +729,10 @@ type StatsResponse struct {
 	Jobs          jobs.Stats                 `json:"jobs"`
 	Pipelines     jobs.PipelineStats         `json:"pipelines"`
 	Requests      map[string]uint64          `json:"requests"`
+	// Retrain is the background retrainer's snapshot — model generation,
+	// last verdict and promotion counters per system; absent when
+	// retraining is off.
+	Retrain *retrain.Stats `json:"retrain,omitempty"`
 	// Telemetry renders the same registry GET /metrics scrapes:
 	// per-route request/error counts and latency quantiles.
 	Telemetry TelemetrySnapshot `json:"telemetry"`
@@ -656,6 +745,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.statsReqs.Add(1)
+	var retrainStats *retrain.Stats
+	if s.retrainer != nil {
+		rs := s.retrainer.Stats()
+		retrainStats = &rs
+	}
 	s.writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeSec:     time.Since(s.start).Seconds(),
 		Cache:         s.cache.Stats(),
@@ -673,6 +767,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"healthz":   s.healthReqs.Value(),
 			"errors":    s.m.errorsVec.Total(),
 		},
+		Retrain:   retrainStats,
 		Telemetry: s.telemetrySnapshot(),
 	})
 }
@@ -731,6 +826,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if jerr := s.jobs.Shutdown(ctx); jerr != nil {
 		s.logf("job drain cut short: %v", jerr)
 		err = errors.Join(err, jerr)
+	}
+	if s.retrainer != nil {
+		// After the job drain (no more observations will land) and before
+		// the training log closes: an in-progress retrain pass reads the
+		// log files the appenders still hold open.
+		s.retrainer.Stop()
 	}
 	if s.trainLog != nil {
 		// After the job drain: closing flushes the final rows and

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/retrain"
 	"repro/internal/telemetry"
 )
 
@@ -81,6 +82,11 @@ type serverMetrics struct {
 	// jobs holds the histograms the job manager feeds (queue wait,
 	// execution, pipeline waves, engine measurements).
 	jobs *jobs.Metrics
+
+	// retrain holds the counters and histograms the background
+	// retrainer feeds (cycle counts, per-system attempt outcomes,
+	// training durations, malformed rows).
+	retrain *retrain.Metrics
 }
 
 // newServerMetrics builds the registry and registers every stored
@@ -112,6 +118,17 @@ func newServerMetrics() *serverMetrics {
 				"Pipeline wave duration, first admission to barrier resolution.", nil),
 			EngineSec: reg.Histogram("waved_engine_measure_seconds",
 				"Modeled engine executions inside jobs.", nil),
+		},
+		retrain: &retrain.Metrics{
+			Cycles: reg.Counter("waved_retrain_cycles_total",
+				"Retrainer passes over the system list."),
+			Events: reg.CounterVec("waved_retrain_events_total",
+				"Retrain attempt outcomes, by system and event (trained, promoted, rejected, error).",
+				"system", "event"),
+			TrainSec: reg.Histogram("waved_retrain_train_seconds",
+				"Retrain attempt duration: log read, challenger training, shadow evaluation.", nil),
+			BadRows: reg.Counter("waved_retrain_bad_rows_total",
+				"Malformed observation rows consumed by retrain attempts."),
 		},
 	}
 	reqVec := reg.CounterVec("waved_http_requests_total",
@@ -164,6 +181,22 @@ func (s *Server) registerCollectors() {
 				emit(float64(st.Size), strconv.Itoa(i))
 			}
 		})
+	reg.CollectFunc("waved_cache_invalidations_total",
+		"Plans dropped by targeted invalidation (model promotions), by shard.",
+		telemetry.TypeCounter, []string{"shard"}, func(emit telemetry.Emit) {
+			for i, st := range s.cache.ShardStats() {
+				emit(float64(st.Invalidations), strconv.Itoa(i))
+			}
+		})
+	if s.retrainSrc != nil {
+		reg.CollectFunc("waved_model_generation",
+			"Serving model generation, by system (1 = the factory champion, +1 per promotion).",
+			telemetry.TypeGauge, []string{"system"}, func(emit telemetry.Emit) {
+				for _, sys := range s.cfg.Systems {
+					emit(float64(s.retrainSrc.Generation(sys.Name)), sys.Name)
+				}
+			})
+	}
 	reg.CollectFunc("waved_jobs_events_total", "Job lifecycle events, by event.",
 		telemetry.TypeCounter, []string{"event"}, func(emit telemetry.Emit) {
 			st := s.jobs.Stats()

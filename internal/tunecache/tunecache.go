@@ -108,6 +108,9 @@ type Stats struct {
 	Coalesced uint64 `json:"coalesced"`
 	// Evictions counts entries dropped by the LRU bound.
 	Evictions uint64 `json:"evictions"`
+	// Invalidations counts entries dropped by targeted invalidation
+	// (InvalidateSystem) — model promotions, not capacity pressure.
+	Invalidations uint64 `json:"invalidations"`
 	// Errors counts predicts that failed (failures are not cached).
 	Errors uint64 `json:"errors"`
 	// Size and Capacity describe the resident set.
@@ -124,6 +127,7 @@ func (s *Stats) add(o Stats) {
 	s.Misses += o.Misses
 	s.Coalesced += o.Coalesced
 	s.Evictions += o.Evictions
+	s.Invalidations += o.Invalidations
 	s.Errors += o.Errors
 	s.Size += o.Size
 }
@@ -132,15 +136,19 @@ func (s *Stats) add(o Stats) {
 // and elem is nil; once done closes, val/err are immutable and, on
 // success, elem links the entry into the shard's LRU list. stamp is the
 // global-clock reading of the last touch (guarded by the shard mutex).
+// dropped (also guarded by the shard mutex) marks an in-flight entry
+// invalidated mid-predict: the flight still delivers its value to
+// waiters, but must not insert it into the LRU.
 type entry struct {
-	key   string
-	sys   string
-	inst  plan.Instance
-	done  chan struct{}
-	val   Plan
-	err   error
-	elem  *list.Element
-	stamp uint64
+	key     string
+	sys     string
+	inst    plan.Instance
+	done    chan struct{}
+	val     Plan
+	err     error
+	elem    *list.Element
+	stamp   uint64
+	dropped bool
 }
 
 // shard is one independently locked slice of the cache: its own entry
@@ -356,8 +364,12 @@ func (c *Cache) GetCtx(ctx context.Context, system string, inst plan.Instance) (
 	if err != nil {
 		s.stats.Errors++
 		s.sysStatsLocked(system).Errors++
-		delete(s.entries, k)
-	} else {
+		// Guard the delete: if this flight was invalidated mid-predict,
+		// the key may already belong to a newer entry that must survive.
+		if cur, ok := s.entries[k]; ok && cur == e {
+			delete(s.entries, k)
+		}
+	} else if !e.dropped {
 		e.elem = s.lru.PushFront(e)
 		c.touch(e)
 		s.evictLocked()
@@ -400,6 +412,44 @@ func (c *Cache) Put(system string, inst plan.Instance, p Plan) error {
 	s.entries[k] = e
 	s.evictLocked()
 	return nil
+}
+
+// InvalidateSystem removes every cache entry for the named system and
+// returns how many it dropped — the targeted invalidation behind model
+// promotion: when a new tuner generation starts serving a system, its
+// cached decisions are stale, but flushing the whole cache would punish
+// every other system's hit rate for one system's promotion, so only the
+// affected system's entries go. In-flight predicts for the system are
+// marked dropped: their waiters still receive the computed value (their
+// requests raced the promotion and get the old model's answer, as any
+// pre-promotion request does) but the result is not cached, so the next
+// lookup predicts against the new model. The global recency clock is
+// advanced so surviving entries' later touches sort strictly after the
+// promotion in a saved snapshot.
+func (c *Cache) InvalidateSystem(system string) int {
+	n := 0
+	for _, s := range c.shards {
+		s.mu.Lock()
+		for k, e := range s.entries {
+			if e.sys != system {
+				continue
+			}
+			if e.elem != nil {
+				s.lru.Remove(e.elem)
+			} else {
+				e.dropped = true
+			}
+			delete(s.entries, k)
+			n++
+			s.stats.Invalidations++
+			s.sysStatsLocked(system).Invalidations++
+		}
+		s.mu.Unlock()
+	}
+	if n > 0 {
+		c.clock.Add(1)
+	}
+	return n
 }
 
 // evictLocked drops least-recently-used resident entries until the
@@ -489,7 +539,8 @@ func (c *Cache) SystemStats() map[string]Stats {
 			agg := out[sys]
 			agg.add(Stats{
 				Hits: st.Hits, Misses: st.Misses, Coalesced: st.Coalesced,
-				Evictions: st.Evictions, Errors: st.Errors, Size: sizes[sys],
+				Evictions: st.Evictions, Invalidations: st.Invalidations,
+				Errors: st.Errors, Size: sizes[sys],
 			})
 			out[sys] = agg
 			delete(sizes, sys)

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/jobs"
+	"repro/internal/retrain"
 	"repro/internal/service"
 	"repro/internal/tunecache"
 )
@@ -298,4 +299,40 @@ type Observation = core.Observation
 // per-system CSV files into it.
 func NewObservationLog(dir string) (*ObservationLog, error) {
 	return core.NewObservationLog(dir)
+}
+
+// RetrainOptions configure the daemon's background champion/challenger
+// retrainer (TuningConfig.Retrain): loop thresholds, holdout fraction
+// and the promotion guardrail. The retrainer runs whenever a training
+// log directory is configured and Off is false.
+type RetrainOptions = service.RetrainOptions
+
+// Retrainer is the background champion/challenger loop behind the
+// daemon (TuningServer.Retrainer): it watches the observation logs,
+// shadow-trains challengers on accumulated rows, scores them against
+// the serving champion on a held-out split, and atomically promotes
+// winners.
+type Retrainer = retrain.Retrainer
+
+// RetrainGuardrail parameterizes the promotion gate: minimum paired
+// samples, minimum mean-error improvement, and the sign-test win-rate
+// floor that keeps a lucky noisy challenger from being promoted.
+type RetrainGuardrail = retrain.GuardrailOptions
+
+// RetrainVerdict is the outcome of one champion/challenger comparison.
+type RetrainVerdict = retrain.Verdict
+
+// RetrainStats is the retrainer's snapshot surfaced through /v1/stats
+// (model generations, promotion counters, last verdicts per system).
+type RetrainStats = retrain.Stats
+
+// RetrainSystemStatus is one system's entry in RetrainStats.
+type RetrainSystemStatus = retrain.SystemStatus
+
+// DecidePromotion is the retrainer's pure guardrail: paired prediction
+// errors of champion and challenger on the same held-out observations
+// in, promotion verdict out. Exposed for offline what-if analysis of
+// recorded error sets.
+func DecidePromotion(champion, challenger []float64, opts RetrainGuardrail) RetrainVerdict {
+	return retrain.Decide(champion, challenger, opts)
 }
