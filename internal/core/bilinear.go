@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/engine"
+	"repro/internal/hw"
+	"repro/internal/ml"
+	"repro/internal/plan"
+)
+
+// BilinearTuner is the WaveTune-style analytic backend: one ridge
+// regression per target over bilinear interaction features — the base
+// instance variables plus every pairwise product (dim, tsize, dsize,
+// dim·tsize, dim·dsize, ...). It deploys through exactly the same
+// gate/clamp/Normalize pipeline as the tree ensemble, but each model
+// evaluation is a single dot product, which is what the batch endpoint
+// and cluster routing want on the hot path.
+type BilinearTuner struct {
+	Sys hw.System
+	// Parallel is a linear separator over the bilinear features of
+	// (dim, tsize, dsize), fit against ±1 labels; >= 0 means exploit
+	// parallelism.
+	Parallel *ml.Linear
+	CPUTile  *ml.Linear
+	// GPUTile regresses the overloaded target (0 = GPU unused,
+	// otherwise the work-group tile); below 0.5 the GPU is dropped,
+	// mirroring the tree backend's REP-tree gate.
+	GPUTile *ml.Linear
+	Band    *ml.Linear
+	Halo    *ml.Linear
+	Report  TrainReport
+}
+
+// bilinearRidgeLambda is the ridge strength used for every target. The
+// fits run on standardized features (see fitBilinear), so a unit-scale
+// penalty is meaningful regardless of the raw feature magnitudes
+// (dim·tsize reaches ~1e7).
+const bilinearRidgeLambda = 1.0
+
+// maxBilinearFeatures is the expansion of the widest target (halo: 5
+// base variables -> 5 + 10 pairwise products).
+const maxBilinearFeatures = 15
+
+// bilinearExpand writes the bilinear expansion of base into dst — the
+// base variables followed by every pairwise product x_i*x_j, i<j — and
+// returns the number of features written. dst must have capacity for
+// k + k*(k-1)/2 values; callers on the hot path pass a fixed-size stack
+// buffer.
+func bilinearExpand(dst, base []float64) int {
+	n := copy(dst, base)
+	for i := 0; i < len(base); i++ {
+		for j := i + 1; j < len(base); j++ {
+			dst[n] = base[i] * base[j]
+			n++
+		}
+	}
+	return n
+}
+
+// bilinearNames labels the expanded columns, e.g. "dim*tsize".
+func bilinearNames(base []string) []string {
+	out := make([]string, 0, len(base)+len(base)*(len(base)-1)/2)
+	out = append(out, base...)
+	for i := 0; i < len(base); i++ {
+		for j := i + 1; j < len(base); j++ {
+			out = append(out, base[i]+"*"+base[j])
+		}
+	}
+	return out
+}
+
+// bilinearDataset expands every row of d into bilinear feature space.
+func bilinearDataset(d *ml.Dataset) *ml.Dataset {
+	out := ml.NewDataset(bilinearNames(d.Names)...)
+	var buf [maxBilinearFeatures]float64
+	for i, x := range d.X {
+		n := bilinearExpand(buf[:], x)
+		out.Add(buf[:n], d.Y[i])
+	}
+	return out
+}
+
+// fitBilinear ridge-fits d on standardized features and folds the
+// standardization back into raw-feature weights, so deployment is a
+// plain dot product over the bilinear expansion. Standardizing first
+// matters: raw interaction features span ~8 orders of magnitude, which
+// would make the normal equations hopelessly ill-conditioned and the
+// ridge penalty meaningless.
+func fitBilinear(d *ml.Dataset, lambda float64) *ml.Linear {
+	p := d.Features()
+	n := d.Len()
+	if n == 0 || p == 0 {
+		return ml.FitLinear(d, lambda)
+	}
+	mean := make([]float64, p)
+	scale := make([]float64, p)
+	for _, x := range d.X {
+		for j, v := range x {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	for _, x := range d.X {
+		for j, v := range x {
+			dv := v - mean[j]
+			scale[j] += dv * dv
+		}
+	}
+	for j := range scale {
+		scale[j] = math.Sqrt(scale[j] / float64(n))
+		if scale[j] == 0 {
+			scale[j] = 1
+		}
+	}
+	std := ml.NewDataset(d.Names...)
+	z := make([]float64, p)
+	for i, x := range d.X {
+		for j, v := range x {
+			z[j] = (v - mean[j]) / scale[j]
+		}
+		std.Add(z, d.Y[i])
+	}
+	m := ml.FitLinear(std, lambda)
+	// y = w·((x-mean)/scale) + b  ==  (w/scale)·x + (b - w·mean/scale).
+	w := make([]float64, p)
+	b := m.B
+	for j := range w {
+		w[j] = m.W[j] / scale[j]
+		b -= m.W[j] * mean[j] / scale[j]
+	}
+	return &ml.Linear{Names: append([]string(nil), d.Names...), W: w, B: b}
+}
+
+// TrainBilinear fits the bilinear backend from an exhaustive search
+// result: the same BuildTraining datasets as the tree ensemble, each
+// expanded into bilinear feature space and ridge-fit per target. The
+// quality report uses the tree backend's per-target tolerances so the
+// two kinds are comparable.
+func TrainBilinear(sr *SearchResult, opts TrainOptions) (*BilinearTuner, error) {
+	opts = opts.withDefaults()
+	tr, err := BuildTraining(sr, opts)
+	if err != nil {
+		return nil, err
+	}
+	t := &BilinearTuner{Sys: sr.Sys}
+
+	// Parallelism gate: linear separator on ±1 labels.
+	gate := bilinearDataset(tr.Parallel)
+	t.Parallel = fitBilinear(gate, bilinearRidgeLambda)
+	t.Report.Configs++
+	t.Report.ParallelAcc = classifyAccuracy(t.Parallel, gate, 0)
+
+	fit := func(d *ml.Dataset, absTol, relTol float64) (*ml.Linear, float64, error) {
+		t.Report.Configs++
+		m := fitBilinear(d, bilinearRidgeLambda)
+		if d.Len() < opts.CVFolds {
+			return m, 1, nil
+		}
+		acc, err := ml.CrossValidateAccuracy(d, opts.CVFolds, opts.Seed, absTol, relTol,
+			func(train *ml.Dataset) ml.Model { return fitBilinear(train, bilinearRidgeLambda) })
+		if err != nil {
+			return nil, 0, err
+		}
+		return m, acc, nil
+	}
+
+	if t.CPUTile, t.Report.CPUTileAcc, err = fit(bilinearDataset(tr.CPUTile), 2.5, 0.5); err != nil {
+		return nil, fmt.Errorf("core: training bilinear cpu-tile model: %w", err)
+	}
+	if t.Band, t.Report.BandAcc, err = fit(bilinearDataset(tr.Band), 60, 0.25); err != nil {
+		return nil, fmt.Errorf("core: training bilinear band model: %w", err)
+	}
+	if t.Halo, t.Report.HaloAcc, err = fit(bilinearDataset(tr.Halo), 8, 0.4); err != nil {
+		return nil, fmt.Errorf("core: training bilinear halo model: %w", err)
+	}
+
+	// GPU employment: regression on the overloaded target, scored as the
+	// binary decision it deploys as.
+	gpu := bilinearDataset(tr.GPUTile)
+	t.GPUTile = fitBilinear(gpu, bilinearRidgeLambda)
+	t.Report.Configs++
+	t.Report.GPUTileAcc = classifyAccuracy(t.GPUTile, gpu, 0.5)
+	return t, nil
+}
+
+// classifyAccuracy scores m as a binary classifier on d with the given
+// decision threshold.
+func classifyAccuracy(m *ml.Linear, d *ml.Dataset, threshold float64) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	hits := 0
+	for i, x := range d.X {
+		if (m.Predict(x) >= threshold) == (d.Y[i] >= threshold) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(d.Len())
+}
+
+// Kind implements Predictor.
+func (t *BilinearTuner) Kind() string { return KindBilinear }
+
+// System implements Predictor.
+func (t *BilinearTuner) System() hw.System { return t.Sys }
+
+// Quality implements Predictor.
+func (t *BilinearTuner) Quality() TrainReport { return t.Report }
+
+// evalBilinear3 evaluates m over the bilinear expansion of (a, b, c)
+// without materializing the feature vector; the term order matches
+// bilinearExpand. Fully unrolled: the hot path is pure straight-line
+// arithmetic.
+func evalBilinear3(m *ml.Linear, a, b, c float64) float64 {
+	w := m.W
+	_ = w[5]
+	return m.B + w[0]*a + w[1]*b + w[2]*c +
+		w[3]*(a*b) + w[4]*(a*c) + w[5]*(b*c)
+}
+
+// evalBilinear4 is evalBilinear3 for four base variables (10 terms).
+func evalBilinear4(m *ml.Linear, a, b, c, d float64) float64 {
+	w := m.W
+	_ = w[9]
+	return m.B + w[0]*a + w[1]*b + w[2]*c + w[3]*d +
+		w[4]*(a*b) + w[5]*(a*c) + w[6]*(a*d) +
+		w[7]*(b*c) + w[8]*(b*d) + w[9]*(c*d)
+}
+
+// evalBilinear5 is evalBilinear3 for five base variables (15 terms).
+func evalBilinear5(m *ml.Linear, a, b, c, d, e float64) float64 {
+	w := m.W
+	_ = w[14]
+	return m.B + w[0]*a + w[1]*b + w[2]*c + w[3]*d + w[4]*e +
+		w[5]*(a*b) + w[6]*(a*c) + w[7]*(a*d) + w[8]*(a*e) +
+		w[9]*(b*c) + w[10]*(b*d) + w[11]*(b*e) +
+		w[12]*(c*d) + w[13]*(c*e) + w[14]*(d*e)
+}
+
+// Predict implements Predictor with the same gate/clamp/Normalize
+// deployment pipeline as the tree backend; only the per-target model
+// evaluations differ (unrolled bilinear polynomials — straight-line
+// arithmetic, no allocation, no feature buffer).
+func (t *BilinearTuner) Predict(inst plan.Instance) Prediction {
+	maxSide := inst.MaxSide()
+	dim, tsz, dsz := float64(maxSide), inst.TSize, float64(inst.DSize)
+	if evalBilinear3(t.Parallel, dim, tsz, dsz) < 0 {
+		return Prediction{Serial: true, Par: engine.CPUOnlyParams(clampTile(engine.SerialTile, maxSide))}
+	}
+
+	ct := clampTile(int(math.Round(evalBilinear3(t.CPUTile, dim, tsz, dsz))), maxSide)
+
+	gtRaw := evalBilinear3(t.GPUTile, dim, tsz, dsz)
+	if gtRaw < 0.5 {
+		return Prediction{Par: engine.CPUOnlyParams(ct)}
+	}
+	gt := clampGPUTile(int(math.Round(gtRaw)))
+
+	band := clampBand(int(math.Round(evalBilinear4(t.Band, dim, tsz, dsz, float64(gt)))), inst)
+	par := plan.Params{CPUTile: ct, Band: band, GPUTile: gt, Halo: -1}
+	if band >= 0 && t.Sys.MaxGPUs() >= 2 {
+		par.Halo = clampHalo(int(math.Round(evalBilinear5(t.Halo, dim, tsz, dsz, float64(ct), float64(band)))), inst, band)
+	}
+	return Prediction{Par: par.Normalize()}
+}
+
+// PredictTimed implements Predictor.
+func (t *BilinearTuner) PredictTimed(inst plan.Instance) (Prediction, float64, float64, error) {
+	pred := t.Predict(inst)
+	rtime, err := t.RTimeFor(inst, pred)
+	if err != nil {
+		return Prediction{}, 0, 0, err
+	}
+	return pred, rtime, engine.SerialNs(t.Sys, inst), nil
+}
+
+// RTimeFor implements Predictor.
+func (t *BilinearTuner) RTimeFor(inst plan.Instance, pred Prediction) (float64, error) {
+	return modeledRTime(t.Sys, inst, pred)
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/hw"
+	"repro/internal/plan"
+)
+
+// trainedBackends trains both prediction backends on the same exhaustive
+// search result, so cross-backend tests compare like with like.
+func trainedBackends(t *testing.T) (*Tuner, *BilinearTuner) {
+	t.Helper()
+	sr, err := Exhaustive(hw.I7_2600K(), tinySpace(), SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := Train(sr, DefaultTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bilinear, err := TrainBilinear(sr, DefaultTrainOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, bilinear
+}
+
+// registryInstances builds one mid-sized instance per registered
+// application, supplying the synthetic trainer's required granularity
+// parameters explicitly.
+func registryInstances(t *testing.T, dim int) map[string]plan.Instance {
+	t.Helper()
+	out := make(map[string]plan.Instance)
+	for _, a := range apps.All() {
+		v := a.Defaults()
+		for _, p := range a.Params {
+			if !p.Required {
+				continue
+			}
+			switch p.Name {
+			case "tsize":
+				v[p.Name] = 200
+			case "dsize":
+				v[p.Name] = 5
+			default:
+				v[p.Name] = 1
+			}
+		}
+		inst, _, err := a.InstanceFor(dim, dim, v)
+		if err != nil {
+			t.Fatalf("%s: InstanceFor: %v", a.Name, err)
+		}
+		out[a.Name] = inst
+	}
+	return out
+}
+
+// TestBackendParityAcrossRegistryApps is the cross-backend parity suite:
+// both backends, trained on the same search result, must produce valid,
+// clamped, Normalize-stable predictions for every registered
+// application.
+func TestBackendParityAcrossRegistryApps(t *testing.T) {
+	tree, bilinear := trainedBackends(t)
+	for _, dim := range []int{700, 1500} {
+		for name, inst := range registryInstances(t, dim) {
+			for _, p := range []Predictor{tree, bilinear} {
+				pred := p.Predict(inst)
+				checkPrediction(t, p.Kind()+"/"+name, inst, pred)
+				if _, rtime, _, err := p.PredictTimed(inst); err != nil {
+					t.Errorf("%s/%s %v: PredictTimed: %v", p.Kind(), name, inst, err)
+				} else if rtime <= 0 {
+					t.Errorf("%s/%s %v: rtime = %v, want > 0", p.Kind(), name, inst, rtime)
+				}
+			}
+		}
+	}
+}
+
+// checkPrediction asserts the deployment invariants shared by every
+// backend: clamped parameters, Normalize stability, buildability.
+func checkPrediction(t *testing.T, label string, inst plan.Instance, pred Prediction) {
+	t.Helper()
+	par := pred.Par
+	maxTile := inst.MaxSide()
+	if maxTile > 64 {
+		maxTile = 64
+	}
+	if par.CPUTile < 1 || par.CPUTile > maxTile {
+		t.Errorf("%s %v: cpu tile %d outside [1, %d]", label, inst, par.CPUTile, maxTile)
+	}
+	if par.GPUTile < 1 || par.GPUTile > 25 {
+		t.Errorf("%s %v: gpu tile %d outside [1, 25]", label, inst, par.GPUTile)
+	}
+	if par.Band < -1 || par.Band > inst.MaxUsefulBand() {
+		t.Errorf("%s %v: band %d outside [-1, %d]", label, inst, par.Band, inst.MaxUsefulBand())
+	}
+	if par.Band < 0 {
+		if par.Halo != -1 {
+			t.Errorf("%s %v: halo %d without a band", label, inst, par.Halo)
+		}
+	} else if par.Halo < -1 || par.Halo > plan.MaxHaloFor(inst, par.Band) {
+		t.Errorf("%s %v: halo %d outside [-1, %d]", label, inst, par.Halo, plan.MaxHaloFor(inst, par.Band))
+	}
+	if par.Normalize() != par {
+		t.Errorf("%s %v: prediction not Normalize-stable: %v", label, inst, par)
+	}
+	if _, err := plan.Build(inst, par); err != nil {
+		t.Errorf("%s %v: unbuildable prediction %v: %v", label, inst, par, err)
+	}
+}
+
+// predictSink keeps the compiler from eliding Predict calls in the
+// allocation test and benchmarks.
+var predictSink Prediction
+
+// TestPredictZeroAlloc pins the hot-path guarantee both backends
+// advertise: a Predict call performs no heap allocation.
+func TestPredictZeroAlloc(t *testing.T) {
+	tree, bilinear := trainedBackends(t)
+	insts := []plan.Instance{
+		{Dim: 700, TSize: 200, DSize: 1}, // parallel, GPU candidates
+		{Dim: 1500, TSize: 3000, DSize: 5},
+		{Dim: 300, TSize: 10, DSize: 1}, // small/serial-leaning
+	}
+	for _, p := range []Predictor{tree, bilinear} {
+		for _, inst := range insts {
+			if n := testing.AllocsPerRun(100, func() { predictSink = p.Predict(inst) }); n != 0 {
+				t.Errorf("%s backend: Predict(%v) allocates %.0f times per run, want 0", p.Kind(), inst, n)
+			}
+		}
+	}
+}
+
+func TestTrainPredictorUnknownKind(t *testing.T) {
+	sr, err := Exhaustive(hw.I7_2600K(), tinySpace(), SearchOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TrainPredictor("quadratic", sr, DefaultTrainOptions()); err == nil {
+		t.Fatal("unknown kind must error")
+	} else if !strings.Contains(err.Error(), "quadratic") {
+		t.Errorf("error %q does not name the unknown kind", err)
+	}
+	for kind, want := range map[string]string{"": KindTree, KindTree: KindTree, KindBilinear: KindBilinear} {
+		p, err := TrainPredictor(kind, sr, DefaultTrainOptions())
+		if err != nil {
+			t.Fatalf("TrainPredictor(%q): %v", kind, err)
+		}
+		if p.Kind() != want {
+			t.Errorf("TrainPredictor(%q).Kind() = %q, want %q", kind, p.Kind(), want)
+		}
+	}
+}

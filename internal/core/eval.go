@@ -49,11 +49,12 @@ func (e EvalPoint) Efficiency() float64 {
 // EvaluateInstance runs the exhaustive search for one instance (using the
 // space's tunable grids) and compares the tuner's prediction against the
 // optimum.
-func EvaluateInstance(t *Tuner, space Space, inst plan.Instance) (EvalPoint, error) {
-	e := EvalPoint{Inst: inst, SerialNs: engine.SerialNs(t.Sys, inst)}
+func EvaluateInstance(t Predictor, space Space, inst plan.Instance) (EvalPoint, error) {
+	sys := t.System()
+	e := EvalPoint{Inst: inst, SerialNs: engine.SerialNs(sys, inst)}
 	bestFound := false
-	for _, par := range space.Configs(inst, t.Sys) {
-		res, err := engine.Estimate(t.Sys, inst, par, engine.Options{ThresholdNs: engine.DefaultThresholdNs})
+	for _, par := range space.Configs(inst, sys) {
+		res, err := engine.Estimate(sys, inst, par, engine.Options{ThresholdNs: engine.DefaultThresholdNs})
 		if err != nil {
 			return e, err
 		}
@@ -78,7 +79,7 @@ func EvaluateInstance(t *Tuner, space Space, inst plan.Instance) (EvalPoint, err
 }
 
 // Evaluate runs EvaluateInstance over a list of instances.
-func Evaluate(t *Tuner, space Space, insts []plan.Instance) ([]EvalPoint, error) {
+func Evaluate(t Predictor, space Space, insts []plan.Instance) ([]EvalPoint, error) {
 	out := make([]EvalPoint, 0, len(insts))
 	for _, inst := range insts {
 		e, err := EvaluateInstance(t, space, inst)

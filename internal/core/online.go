@@ -14,7 +14,7 @@ import (
 // runs hill-climbing through neighbouring configurations. Probes are
 // "measured" on the modeled system (the stand-in for timing a real run).
 type OnlineTuner struct {
-	Base *Tuner
+	Base Predictor
 	// Budget caps the number of probe measurements (default 12).
 	Budget int
 }
@@ -36,8 +36,8 @@ func (s RefineStats) Improvement() float64 {
 	return s.StartNs / s.FinalNs
 }
 
-// NewOnlineTuner wraps an offline tuner.
-func NewOnlineTuner(base *Tuner) *OnlineTuner {
+// NewOnlineTuner wraps an offline predictor of any backend kind.
+func NewOnlineTuner(base Predictor) *OnlineTuner {
 	return &OnlineTuner{Base: base, Budget: 12}
 }
 
@@ -63,14 +63,14 @@ func (o *OnlineTuner) RefineContext(ctx context.Context, inst plan.Instance) (Pr
 // in nanoseconds (<= 0 recomputes it from the model).
 func (o *OnlineTuner) RefineDecisionContext(ctx context.Context, inst plan.Instance, dec Prediction, serialNs float64) (Prediction, RefineStats, error) {
 	if serialNs <= 0 {
-		serialNs = engine.SerialNs(o.Base.Sys, inst)
+		serialNs = engine.SerialNs(o.Base.System(), inst)
 	}
 	if dec.Serial {
 		if err := ctx.Err(); err != nil {
 			return dec, RefineStats{}, err
 		}
 		alt := engine.CPUOnlyParams(clampTile(engine.SerialTile, inst.MaxSide()))
-		res, err := engine.Estimate(o.Base.Sys, inst, alt, engine.Options{})
+		res, err := engine.Estimate(o.Base.System(), inst, alt, engine.Options{})
 		if err != nil {
 			return dec, RefineStats{}, err
 		}
@@ -112,7 +112,7 @@ func (o *OnlineTuner) RefineFromContext(ctx context.Context, inst plan.Instance,
 	if budget <= 0 {
 		budget = 12
 	}
-	sys := o.Base.Sys
+	sys := o.Base.System()
 	measure := func(p plan.Params) (float64, bool) {
 		if _, err := plan.Build(inst, p); err != nil {
 			return 0, false

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/hw"
+)
+
+// FuzzTunerLoad fuzzes the versioned tuner-file decoder across both
+// backend kinds. Properties: UnmarshalPredictor never panics on
+// arbitrary input; a successful decode yields a predictor with a known
+// kind and a resolvable system; and re-marshaling a decoded predictor
+// produces a file that decodes again to the same kind and system.
+func FuzzTunerLoad(f *testing.F) {
+	sr, err := Exhaustive(hw.I7_2600K(), tinySpace(), SearchOptions{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	tree, err := Train(sr, DefaultTrainOptions())
+	if err != nil {
+		f.Fatal(err)
+	}
+	bilinear, err := TrainBilinear(sr, DefaultTrainOptions())
+	if err != nil {
+		f.Fatal(err)
+	}
+	treeJSON, err := json.Marshal(tree)
+	if err != nil {
+		f.Fatal(err)
+	}
+	bilinearJSON, err := json.Marshal(bilinear)
+	if err != nil {
+		f.Fatal(err)
+	}
+	seeds := []string{
+		string(treeJSON),
+		string(bilinearJSON),
+		// Error paths the decoder must reject without panicking.
+		`{"system":"nonexistent","version":1}`,
+		`{"system":"i3-540","version":99}`,
+		`{"system":"i3-540","version":1}`,
+		`{"system":"i3-540","version":2,"kind":"quadratic"}`,
+		`{"system":"i3-540","version":1,"kind":"bilinear"}`,
+		`{"version":2,"kind":"bilinear"}`,
+		`{}`,
+		``,
+		`not json`,
+		`[1,2,3]`,
+		`{"system":"i7-2600K","version":2,"kind":"tree","parallel":{}}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data string) {
+		p, err := UnmarshalPredictor([]byte(data))
+		if err != nil {
+			return
+		}
+		if p.Kind() != KindTree && p.Kind() != KindBilinear {
+			t.Fatalf("decoded predictor has unknown kind %q", p.Kind())
+		}
+		if _, ok := hw.ByName(p.System().Name); !ok {
+			t.Fatalf("decoded predictor bound to unknown system %q", p.System().Name)
+		}
+		out, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("re-marshal failed: %v", err)
+		}
+		back, err := UnmarshalPredictor(out)
+		if err != nil {
+			t.Fatalf("re-marshaled file does not decode: %v", err)
+		}
+		if back.Kind() != p.Kind() || back.System().Name != p.System().Name {
+			t.Fatalf("round trip changed identity: %s/%s vs %s/%s",
+				p.Kind(), p.System().Name, back.Kind(), back.System().Name)
+		}
+	})
+}

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/hw"
@@ -72,5 +74,95 @@ func writeFile(t *testing.T, path, content string) {
 	t.Helper()
 	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestV1TunerLoadsAsTree pins backward compatibility: a v1 file (no
+// "kind" discriminator) must load through UnmarshalPredictor as a tree
+// tuner predicting identically to its v2 form.
+func TestV1TunerLoadsAsTree(t *testing.T) {
+	tree, _ := trainedBackends(t)
+	data, err := json.Marshal(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	m["version"] = json.RawMessage("1")
+	delete(m, "kind")
+	v1, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := UnmarshalPredictor(v1)
+	if err != nil {
+		t.Fatalf("v1 file must load: %v", err)
+	}
+	if p.Kind() != KindTree {
+		t.Fatalf("v1 file decoded as %q, want %q", p.Kind(), KindTree)
+	}
+	inst := plan.Instance{Dim: 900, TSize: 777, DSize: 3}
+	if got, want := p.Predict(inst), tree.Predict(inst); got != want {
+		t.Errorf("v1 prediction %v, want %v", got, want)
+	}
+}
+
+// TestUnmarshalPredictorKindErrors covers the kind-discriminator error
+// paths: unknown kinds are rejected by name, and a bilinear model cannot
+// masquerade as a v1 file (the format that predates it).
+func TestUnmarshalPredictorKindErrors(t *testing.T) {
+	if _, err := UnmarshalPredictor([]byte(`{"system":"i3-540","version":2,"kind":"quadratic"}`)); err == nil {
+		t.Error("unknown kind must error")
+	} else if !strings.Contains(err.Error(), "quadratic") {
+		t.Errorf("error %q does not name the unknown kind", err)
+	}
+	if _, err := UnmarshalPredictor([]byte(`{"system":"i3-540","version":1,"kind":"bilinear"}`)); err == nil {
+		t.Error("bilinear kind in a v1 envelope must error")
+	}
+	// Loading a bilinear file through the tree-only loader must fail
+	// with the kind mismatch, not a decode crash.
+	_, bilinear := trainedBackends(t)
+	path := filepath.Join(t.TempDir(), "bilinear.json")
+	if err := SavePredictor(path, bilinear); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTuner(path); err == nil {
+		t.Error("LoadTuner must reject a bilinear file")
+	}
+}
+
+// TestBilinearSaveLoadRoundTrip mirrors the tree round-trip test for the
+// bilinear backend through the kind-dispatching loader.
+func TestBilinearSaveLoadRoundTrip(t *testing.T) {
+	_, orig := trainedBackends(t)
+	path := filepath.Join(t.TempDir(), "bilinear.json")
+	if err := SavePredictor(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadPredictor(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind() != KindBilinear {
+		t.Fatalf("kind = %q, want %q", back.Kind(), KindBilinear)
+	}
+	if back.System().Name != orig.Sys.Name {
+		t.Errorf("system = %q, want %q", back.System().Name, orig.Sys.Name)
+	}
+	if back.Quality() != orig.Report {
+		t.Error("training report changed across round trip")
+	}
+	for _, inst := range []plan.Instance{
+		{Dim: 500, TSize: 10, DSize: 1},
+		{Dim: 900, TSize: 777, DSize: 3},
+		{Dim: 2500, TSize: 11000, DSize: 5},
+		{Dim: 1500, TSize: 0.5, DSize: 0},
+	} {
+		a, b := orig.Predict(inst), back.Predict(inst)
+		if a != b {
+			t.Errorf("%v: prediction changed: %v vs %v", inst, a, b)
+		}
 	}
 }

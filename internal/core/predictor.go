@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/engine"
+	"repro/internal/hw"
+	"repro/internal/plan"
+)
+
+// Model kinds understood by the prediction stack. The kind is the
+// discriminator in version-2 tuner files and the value of the
+// model_kind telemetry label.
+const (
+	// KindTree is the paper's backend: an SVM parallelism gate, M5
+	// model trees for cpu-tile/band/halo and a REP tree for gpu-tile.
+	KindTree = "tree"
+	// KindBilinear is the WaveTune-style backend: one ridge regression
+	// per target over bilinear interaction features, so deployment is a
+	// handful of dot products.
+	KindBilinear = "bilinear"
+)
+
+// Predictor is a deployed tuning model for one system. The tree
+// ensemble (Tuner) and the bilinear cost model (BilinearTuner) both
+// implement it; everything above core — the plan cache, the service,
+// refine jobs, champion/challenger retraining — programs against this
+// interface so backends can be swapped, compared and serialized by
+// kind rather than by concrete struct.
+type Predictor interface {
+	// Kind identifies the backend (KindTree or KindBilinear).
+	Kind() string
+	// System is the hardware model the predictor was trained for.
+	System() hw.System
+	// Quality reports cross-validated per-target training accuracy.
+	Quality() TrainReport
+	// Predict maps an instance to tuned settings, clamped to validity
+	// and normalized (Params.Normalize).
+	Predict(inst plan.Instance) Prediction
+	// PredictTimed is the single-call deployment hook: the prediction
+	// plus its modeled runtime and the serial baseline, in nanoseconds.
+	PredictTimed(inst plan.Instance) (Prediction, float64, float64, error)
+	// RTimeFor returns the modeled runtime of an arbitrary prediction
+	// for inst on the predictor's system.
+	RTimeFor(inst plan.Instance, pred Prediction) (float64, error)
+}
+
+// TrainPredictor fits a predictor of the given kind from an exhaustive
+// search result. An empty kind selects the tree ensemble, the historical
+// default.
+func TrainPredictor(kind string, sr *SearchResult, opts TrainOptions) (Predictor, error) {
+	switch kind {
+	case "", KindTree:
+		return Train(sr, opts)
+	case KindBilinear:
+		return TrainBilinear(sr, opts)
+	default:
+		return nil, fmt.Errorf("core: unknown predictor kind %q", kind)
+	}
+}
+
+// The deployment clamps shared by every backend: regression outputs may
+// land outside the searched grid (that is how the paper's tuner found
+// super-optimal points on the i3-540), so predictions are clamped to
+// validity, never snapped to the grid.
+
+// clampGPUTile bounds a work-group tile to the searched [1, 25] range.
+func clampGPUTile(gt int) int {
+	if gt < 1 {
+		gt = 1
+	}
+	if gt > 25 {
+		gt = 25
+	}
+	return gt
+}
+
+// clampBand bounds an offload band to [-1, MaxUsefulBand]: bands beyond
+// the full-offload point are legal (Table 3) but equivalent, so they
+// collapse to the canonical value.
+func clampBand(band int, inst plan.Instance) int {
+	if band < 0 {
+		return -1
+	}
+	if m := inst.MaxUsefulBand(); band > m {
+		band = m
+	}
+	return band
+}
+
+// clampHalo bounds a halo to [-1, MaxHaloFor(inst, band)].
+func clampHalo(halo int, inst plan.Instance, band int) int {
+	if halo < 0 {
+		return -1
+	}
+	if m := plan.MaxHaloFor(inst, band); halo > m {
+		halo = m
+	}
+	return halo
+}
+
+// modeledRTime is the shared RTimeFor implementation: the serial
+// baseline when the gate said serial, otherwise the estimated hybrid
+// runtime.
+func modeledRTime(sys hw.System, inst plan.Instance, pred Prediction) (float64, error) {
+	if pred.Serial {
+		return engine.SerialNs(sys, inst), nil
+	}
+	res, err := engine.Estimate(sys, inst, pred.Par, engine.Options{})
+	if err != nil {
+		return 0, err
+	}
+	return res.RTimeNs, nil
+}

@@ -151,12 +151,29 @@ func (p Prediction) String() string {
 	return p.Par.String()
 }
 
+// Kind implements Predictor.
+func (t *Tuner) Kind() string { return KindTree }
+
+// System implements Predictor.
+func (t *Tuner) System() hw.System { return t.Sys }
+
+// Quality implements Predictor.
+func (t *Tuner) Quality() TrainReport { return t.Report }
+
 // Predict maps an application's input parameters to tuned settings. The
 // regression models may propose values outside the searched grid, which is
 // how the paper's tuner achieved super-optimal points on the i3-540; the
 // predictions are only clamped to validity, never snapped to the grid.
+//
+// The feature vector lives in a fixed stack buffer: the first three
+// slots are the instance features shared by every model, and the band
+// and halo models see them extended in place with the upstream
+// decisions. Predict is on the batch/refine/retrain hot path, so it
+// must not allocate.
 func (t *Tuner) Predict(inst plan.Instance) Prediction {
-	x := []float64{float64(inst.MaxSide()), inst.TSize, float64(inst.DSize)}
+	var buf [5]float64
+	buf[0], buf[1], buf[2] = float64(inst.MaxSide()), inst.TSize, float64(inst.DSize)
+	x := buf[:3]
 	if !t.Parallel.Classify(x) {
 		return Prediction{Serial: true, Par: engine.CPUOnlyParams(clampTile(engine.SerialTile, inst.MaxSide()))}
 	}
@@ -170,34 +187,14 @@ func (t *Tuner) Predict(inst plan.Instance) Prediction {
 	if gtRaw < 0.5 {
 		return Prediction{Par: engine.CPUOnlyParams(ct)}
 	}
-	gt := int(math.Round(gtRaw))
-	if gt < 1 {
-		gt = 1
-	}
-	if gt > 25 {
-		gt = 25
-	}
+	gt := clampGPUTile(int(math.Round(gtRaw)))
 
-	band := int(math.Round(t.Band.Predict(append(append([]float64{}, x...), float64(gt)))))
-	if band < 0 {
-		band = -1
-	}
-	if band > inst.MaxUsefulBand() {
-		// Bands beyond the full-offload point are legal (Table 3) but
-		// equivalent; clamp to the canonical value.
-		band = inst.MaxUsefulBand()
-	}
+	buf[3] = float64(gt)
+	band := clampBand(int(math.Round(t.Band.Predict(buf[:4]))), inst)
 	par := plan.Params{CPUTile: ct, Band: band, GPUTile: gt, Halo: -1}
 	if band >= 0 && t.Sys.MaxGPUs() >= 2 {
-		halo := int(math.Round(t.Halo.Predict(append(append([]float64{}, x...),
-			float64(ct), float64(band)))))
-		if halo < 0 {
-			halo = -1
-		}
-		if max := plan.MaxHaloFor(inst, band); halo > max {
-			halo = max
-		}
-		par.Halo = halo
+		buf[3], buf[4] = float64(ct), float64(band)
+		par.Halo = clampHalo(int(math.Round(t.Halo.Predict(buf[:5]))), inst, band)
 	}
 	return Prediction{Par: par.Normalize()}
 }
@@ -233,12 +230,5 @@ func (t *Tuner) PredictTimed(inst plan.Instance) (Prediction, float64, float64, 
 // system: the serial baseline when the gate said serial, otherwise the
 // estimated hybrid runtime.
 func (t *Tuner) RTimeFor(inst plan.Instance, pred Prediction) (float64, error) {
-	if pred.Serial {
-		return engine.SerialNs(t.Sys, inst), nil
-	}
-	res, err := engine.Estimate(t.Sys, inst, pred.Par, engine.Options{})
-	if err != nil {
-		return 0, err
-	}
-	return res.RTimeNs, nil
+	return modeledRTime(t.Sys, inst, pred)
 }

@@ -252,9 +252,9 @@ type Stats struct {
 // concurrent jobs for one workload share a single tuner evaluation.
 type PlanFunc func(system string, inst plan.Instance) (tunecache.Plan, tunecache.Outcome, error)
 
-// TunerFunc resolves the trained base tuner for a system; refine jobs
-// wrap it in a core.OnlineTuner.
-type TunerFunc func(system string) (*core.Tuner, error)
+// TunerFunc resolves the trained base predictor for a system; refine
+// jobs wrap it in a core.OnlineTuner.
+type TunerFunc func(system string) (core.Predictor, error)
 
 // Config configures a Manager.
 type Config struct {

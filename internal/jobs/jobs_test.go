@@ -482,7 +482,7 @@ func refineManager(t *testing.T, logDir string, budget int) (*Manager, *core.Tun
 	m := newManager(t, Config{
 		Workers:      2,
 		Plans:        cache.Get,
-		Tuners:       func(string) (*core.Tuner, error) { return tun, nil },
+		Tuners:       func(string) (core.Predictor, error) { return tun, nil },
 		RefineBudget: budget,
 		TrainingLog:  obs,
 	})

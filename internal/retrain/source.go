@@ -13,7 +13,7 @@ import (
 // whatever the daemon was configured with (trained, directory-loaded,
 // or static) without this package importing the service.
 type TunerSource interface {
-	Tuner(sys hw.System) (*core.Tuner, error)
+	Tuner(sys hw.System) (core.Predictor, error)
 }
 
 // Source wraps a base TunerSource with atomic champion/challenger
@@ -27,16 +27,22 @@ type Source struct {
 	base TunerSource
 
 	mu       sync.RWMutex
-	promoted map[string]*core.Tuner
-	gen      map[string]uint64
-	promoAt  map[string]time.Time
+	promoted map[string]core.Predictor
+	// kind remembers the backend kind last seen serving each system —
+	// the promoted model's, or the base champion's observed on resolve —
+	// so stats and the waved_model_generation metric can report the
+	// backend mix without forcing a lazy source to train at scrape time.
+	kind    map[string]string
+	gen     map[string]uint64
+	promoAt map[string]time.Time
 }
 
 // NewSource wraps base with promotion support.
 func NewSource(base TunerSource) *Source {
 	return &Source{
 		base:     base,
-		promoted: make(map[string]*core.Tuner),
+		promoted: make(map[string]core.Predictor),
+		kind:     make(map[string]string),
 		gen:      make(map[string]uint64),
 		promoAt:  make(map[string]time.Time),
 	}
@@ -44,14 +50,44 @@ func NewSource(base TunerSource) *Source {
 
 // Tuner returns the serving champion for sys: the promoted tuner when
 // one exists, the base source's otherwise.
-func (s *Source) Tuner(sys hw.System) (*core.Tuner, error) {
+func (s *Source) Tuner(sys hw.System) (core.Predictor, error) {
 	s.mu.RLock()
 	t := s.promoted[sys.Name]
 	s.mu.RUnlock()
 	if t != nil {
 		return t, nil
 	}
-	return s.base.Tuner(sys)
+	t, err := s.base.Tuner(sys)
+	if err == nil && t != nil {
+		s.noteKind(sys.Name, t.Kind())
+	}
+	return t, err
+}
+
+// noteKind records the serving backend kind for a system, cheaply: the
+// write lock is only taken when the recorded kind actually changes, so
+// the serving path stays RLock-cheap.
+func (s *Source) noteKind(system, kind string) {
+	s.mu.RLock()
+	known := s.kind[system] == kind
+	s.mu.RUnlock()
+	if known {
+		return
+	}
+	s.mu.Lock()
+	if s.promoted[system] == nil {
+		s.kind[system] = kind
+	}
+	s.mu.Unlock()
+}
+
+// Kind returns the backend kind last seen serving the named system
+// ("tree" or "bilinear"), or "" when the system has not resolved yet.
+// It never triggers a resolve, so it is safe at metrics-scrape time.
+func (s *Source) Kind(system string) string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.kind[system]
 }
 
 // Ready reports whether the named system can serve without training or
@@ -74,10 +110,11 @@ func (s *Source) Ready(system string) bool {
 // Promote atomically installs t as the named system's serving champion
 // and returns the new model generation (the base champion is generation
 // 1, so the first promotion returns 2).
-func (s *Source) Promote(system string, t *core.Tuner) uint64 {
+func (s *Source) Promote(system string, t core.Predictor) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.promoted[system] = t
+	s.kind[system] = t.Kind()
 	g := s.gen[system]
 	if g == 0 {
 		g = 1

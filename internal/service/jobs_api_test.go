@@ -208,7 +208,7 @@ type gatedSource struct {
 	calls int
 }
 
-func (g *gatedSource) Tuner(sys hw.System) (*core.Tuner, error) {
+func (g *gatedSource) Tuner(sys hw.System) (core.Predictor, error) {
 	g.mu.Lock()
 	g.calls++
 	g.mu.Unlock()

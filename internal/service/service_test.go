@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net"
 	"net/http"
@@ -60,7 +61,7 @@ type countingSource struct {
 	calls atomic.Int64
 }
 
-func (c *countingSource) Tuner(sys hw.System) (*core.Tuner, error) {
+func (c *countingSource) Tuner(sys hw.System) (core.Predictor, error) {
 	c.calls.Add(1)
 	return c.inner.Tuner(sys)
 }
@@ -364,8 +365,8 @@ func TestDirSource(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Sys.Name != tun.Sys.Name {
-		t.Errorf("loaded tuner for %s, want %s", got.Sys.Name, tun.Sys.Name)
+	if got.System().Name != tun.Sys.Name {
+		t.Errorf("loaded tuner for %s, want %s", got.System().Name, tun.Sys.Name)
 	}
 	// Missing file: error, remembered.
 	if _, err := src.Tuner(hw.I3_540()); err == nil {
@@ -479,7 +480,7 @@ func TestCorruptCacheFileToleratedAtStartup(t *testing.T) {
 // settle the slot with an error instead of hanging every later request
 // for the system.
 func TestPanickingResolveSettlesTheSlot(t *testing.T) {
-	src := newLazySource(func(sys hw.System) (*core.Tuner, error) {
+	src := newLazySource(func(sys hw.System) (core.Predictor, error) {
 		panic("training exploded")
 	})
 	for i := 0; i < 2; i++ {
@@ -506,5 +507,52 @@ func TestDuplicateSystemRejected(t *testing.T) {
 	_, err := New(Config{Systems: []hw.System{hw.I3_540(), hw.I3_540()}})
 	if err == nil {
 		t.Fatal("duplicate systems must be rejected")
+	}
+}
+
+// TestFailedResolveSurfacesOneError pins the error-caching contract: a
+// failed resolve settles its wrapped error into the slot once, so the
+// first caller and every later one observe the identical error value
+// (and the resolve itself runs exactly once).
+func TestFailedResolveSurfacesOneError(t *testing.T) {
+	cause := errors.New("no such tuner file")
+	var calls atomic.Int64
+	src := newLazySource(func(sys hw.System) (core.Predictor, error) {
+		calls.Add(1)
+		return nil, cause
+	})
+	_, err1 := src.Tuner(hw.I3_540())
+	_, err2 := src.Tuner(hw.I3_540())
+	if err1 == nil {
+		t.Fatal("failed resolve must error")
+	}
+	if err1 != err2 {
+		t.Errorf("errors differ across calls: %v vs %v", err1, err2)
+	}
+	if !errors.Is(err1, cause) {
+		t.Errorf("wrapped error %v does not unwrap to the cause", err1)
+	}
+	if !strings.Contains(err1.Error(), "resolving tuner for i3-540") {
+		t.Errorf("error %q does not name the system", err1)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("resolve ran %d times, want 1", got)
+	}
+	if src.Ready(hw.I3_540().Name) {
+		t.Error("failed slot must not report ready")
+	}
+}
+
+// TestStaticSourceMissErrorIsStable gives StaticSource the same
+// identical-error guarantee on misses.
+func TestStaticSourceMissErrorIsStable(t *testing.T) {
+	src := NewStaticSource(tinyTuner(t))
+	_, err1 := src.Tuner(hw.I3_540())
+	_, err2 := src.Tuner(hw.I3_540())
+	if err1 == nil || err1 != err2 {
+		t.Fatalf("miss errors must be the identical value: %v vs %v", err1, err2)
+	}
+	if tun, err := src.Tuner(hw.I7_2600K()); err != nil || tun == nil {
+		t.Fatalf("hit failed: %v", err)
 	}
 }

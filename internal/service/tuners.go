@@ -9,12 +9,12 @@ import (
 	"repro/internal/hw"
 )
 
-// TunerSource resolves the trained tuner for a system. Implementations
-// must be safe for concurrent use; the server calls Tuner lazily from the
-// cache's miss path, so a source is only exercised for systems that
-// actually receive traffic.
+// TunerSource resolves the trained predictor for a system.
+// Implementations must be safe for concurrent use; the server calls
+// Tuner lazily from the cache's miss path, so a source is only exercised
+// for systems that actually receive traffic.
 type TunerSource interface {
-	Tuner(sys hw.System) (*core.Tuner, error)
+	Tuner(sys hw.System) (core.Predictor, error)
 }
 
 // ReadyReporter is the optional interface a TunerSource may implement to
@@ -26,13 +26,13 @@ type ReadyReporter interface {
 	Ready(system string) bool
 }
 
-// tunerSlot is one system's lazily resolved tuner; done closes when the
-// resolve finishes, giving tuner resolution the same singleflight
+// tunerSlot is one system's lazily resolved predictor; done closes when
+// the resolve finishes, giving tuner resolution the same singleflight
 // property the plan cache gives predictions: concurrent first requests
 // for a system run one search, later ones block on its result.
 type tunerSlot struct {
 	done  chan struct{}
-	tuner *core.Tuner
+	tuner core.Predictor
 	err   error
 }
 
@@ -41,17 +41,19 @@ type tunerSlot struct {
 type lazySource struct {
 	mu      sync.Mutex
 	slots   map[string]*tunerSlot
-	resolve func(sys hw.System) (*core.Tuner, error)
+	resolve func(sys hw.System) (core.Predictor, error)
 }
 
-func newLazySource(resolve func(sys hw.System) (*core.Tuner, error)) *lazySource {
+func newLazySource(resolve func(sys hw.System) (core.Predictor, error)) *lazySource {
 	return &lazySource{slots: make(map[string]*tunerSlot), resolve: resolve}
 }
 
 // Tuner implements TunerSource. A failed resolve is not retried: the
 // error is remembered, matching the daemon's "misconfiguration is
-// permanent until restart" stance for missing tuner files.
-func (l *lazySource) Tuner(sys hw.System) (*core.Tuner, error) {
+// permanent until restart" stance for missing tuner files. The wrapped
+// error is settled into the slot once, so the first caller and every
+// later one observe the identical error value.
+func (l *lazySource) Tuner(sys hw.System) (core.Predictor, error) {
 	l.mu.Lock()
 	slot, ok := l.slots[sys.Name]
 	if !ok {
@@ -69,6 +71,9 @@ func (l *lazySource) Tuner(sys hw.System) (*core.Tuner, error) {
 				}
 			}()
 			slot.tuner, slot.err = l.resolve(sys)
+			if slot.err != nil {
+				slot.err = fmt.Errorf("resolving tuner for %s: %w", sys.Name, slot.err)
+			}
 		}()
 		return slot.tuner, slot.err
 	}
@@ -104,63 +109,86 @@ type TrainingSourceOptions struct {
 	// TrainOpts configure model fitting; the zero value selects
 	// core.DefaultTrainOptions().
 	TrainOpts core.TrainOptions
+	// Kind selects the prediction backend (core.KindTree or
+	// core.KindBilinear); empty selects the tree ensemble.
+	Kind string
 }
 
-// NewTrainingSource returns a source that trains a tuner per system on
-// first use: an exhaustive search of the options' space followed by the
-// paper's model pipeline, exactly the "factory" path of wavetrain.
+// NewTrainingSource returns a source that trains a predictor per system
+// on first use: an exhaustive search of the options' space followed by
+// the configured backend's model pipeline, exactly the "factory" path of
+// wavetrain.
 func NewTrainingSource(opts TrainingSourceOptions) TunerSource {
 	space := opts.Space
 	if len(space.Dims) == 0 && len(space.Rects) == 0 {
 		space = core.QuickSpace()
 	}
-	return newLazySource(func(sys hw.System) (*core.Tuner, error) {
+	return newLazySource(func(sys hw.System) (core.Predictor, error) {
 		sr, err := core.Exhaustive(sys, space, core.SearchOptions{})
 		if err != nil {
 			return nil, fmt.Errorf("searching %s: %w", sys.Name, err)
 		}
-		// core.Train applies per-field defaults to zero TrainOptions.
-		return core.Train(sr, opts.TrainOpts)
+		// core.TrainPredictor applies per-field defaults to zero
+		// TrainOptions.
+		return core.TrainPredictor(opts.Kind, sr, opts.TrainOpts)
 	})
 }
 
 // NewDirSource returns a source that loads "<dir>/<system>.json" files
-// written by core.(*Tuner).Save (wavetrain -save) on first use. A file
-// trained for a different system than its name indicates is rejected.
+// written by Save (wavetrain -save) on first use; the file's kind
+// discriminator selects the backend, with v1 files loading as trees. A
+// file trained for a different system than its name indicates is
+// rejected.
 func NewDirSource(dir string) TunerSource {
-	return newLazySource(func(sys hw.System) (*core.Tuner, error) {
+	return newLazySource(func(sys hw.System) (core.Predictor, error) {
 		path := filepath.Join(dir, sys.Name+".json")
-		t, err := core.LoadTuner(path)
+		t, err := core.LoadPredictor(path)
 		if err != nil {
 			return nil, err
 		}
-		if t.Sys.Name != sys.Name {
-			return nil, fmt.Errorf("tuner %s was trained for %s, not %s", path, t.Sys.Name, sys.Name)
+		if t.System().Name != sys.Name {
+			return nil, fmt.Errorf("tuner %s was trained for %s, not %s", path, t.System().Name, sys.Name)
 		}
 		return t, nil
 	})
 }
 
-// StaticSource serves pre-built tuners (tests, embedded deployments).
-type StaticSource map[string]*core.Tuner
+// StaticSource serves pre-built predictors (tests, embedded
+// deployments).
+type StaticSource struct {
+	tuners map[string]core.Predictor
 
-// NewStaticSource indexes the given tuners by system name.
-func NewStaticSource(tuners ...*core.Tuner) StaticSource {
-	m := make(StaticSource, len(tuners))
+	mu      sync.Mutex
+	missing map[string]error
+}
+
+// NewStaticSource indexes the given predictors by system name.
+func NewStaticSource(tuners ...core.Predictor) *StaticSource {
+	m := &StaticSource{
+		tuners:  make(map[string]core.Predictor, len(tuners)),
+		missing: make(map[string]error),
+	}
 	for _, t := range tuners {
-		m[t.Sys.Name] = t
+		m.tuners[t.System().Name] = t
 	}
 	return m
 }
 
-// Tuner implements TunerSource.
-func (m StaticSource) Tuner(sys hw.System) (*core.Tuner, error) {
-	t, ok := m[sys.Name]
-	if !ok {
-		return nil, fmt.Errorf("no tuner for system %q", sys.Name)
+// Tuner implements TunerSource. Like lazySource, a miss surfaces the
+// same error value on every call, not a fresh one per request.
+func (m *StaticSource) Tuner(sys hw.System) (core.Predictor, error) {
+	if t, ok := m.tuners[sys.Name]; ok {
+		return t, nil
 	}
-	return t, nil
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	err, ok := m.missing[sys.Name]
+	if !ok {
+		err = fmt.Errorf("no tuner for system %q", sys.Name)
+		m.missing[sys.Name] = err
+	}
+	return nil, err
 }
 
 // Ready implements the readiness probe: static tuners are always ready.
-func (m StaticSource) Ready(name string) bool { _, ok := m[name]; return ok }
+func (m *StaticSource) Ready(name string) bool { _, ok := m.tuners[name]; return ok }

@@ -41,8 +41,9 @@ const DefaultCapacity = 512
 // (and a tiny cache runs unsharded with exact LRU semantics).
 const minShardCapacity = 8
 
-// Plan is a cached tuning decision: the tuner's prediction plus the
-// modeled runtimes that contextualize it.
+// Plan is a cached tuning decision: the predictor's output plus the
+// modeled runtimes that contextualize it. The plan is backend-agnostic —
+// tree and bilinear predictors fill the same fields.
 type Plan struct {
 	// Serial is true when the parallelism gate chose the sequential
 	// baseline.
@@ -57,8 +58,10 @@ type Plan struct {
 	SerialNs float64
 }
 
-// PredictFunc computes a tuned plan on a cache miss. It is called exactly
-// once per missing key regardless of how many callers are waiting.
+// PredictFunc computes a tuned plan on a cache miss — typically one
+// core.Predictor evaluation, whatever the backend kind. It is called
+// exactly once per missing key regardless of how many callers are
+// waiting.
 type PredictFunc func(system string, inst plan.Instance) (Plan, error)
 
 // PredictCtxFunc is the context-aware PredictFunc: ctx is the context

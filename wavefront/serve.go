@@ -153,9 +153,9 @@ func NewDirTunerSource(dir string) TunerSource {
 	return service.NewDirSource(dir)
 }
 
-// NewStaticTunerSource serves the given pre-built tuners, indexed by
-// system name.
-func NewStaticTunerSource(tuners ...*Tuner) TunerSource {
+// NewStaticTunerSource serves the given pre-built predictors of any
+// backend kind, indexed by system name.
+func NewStaticTunerSource(tuners ...Predictor) TunerSource {
 	return service.NewStaticSource(tuners...)
 }
 
